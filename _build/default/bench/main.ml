@@ -1,0 +1,242 @@
+(* The benchmark harness.
+
+   Part 1 — reproduction: runs every table and figure of the paper and
+   prints paper-vs-measured rows (the same harness as
+   `tormeasure run-all`).
+
+   Part 2 — performance: one Bechamel micro-benchmark per table/figure,
+   timing the computational kernel each experiment leans on, plus the
+   cryptographic primitives. *)
+
+open Bechamel
+open Toolkit
+
+(* --- shared fixtures for the kernels --- *)
+
+let fixture_rng = Prng.Rng.create 99
+let fixture_drbg = Crypto.Drbg.create "bench"
+
+let small_consensus =
+  lazy
+    (Torsim.Netgen.generate
+       ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays = 120 }
+       (Prng.Rng.create 5))
+
+let small_engine = lazy (Torsim.Engine.create ~seed:5 (Lazy.force small_consensus))
+
+let small_population =
+  lazy
+    (Workload.Population.build
+       ~config:
+         { Workload.Population.default with Workload.Population.selective = 200; promiscuous = 2 }
+       (Lazy.force small_consensus) (Prng.Rng.create 6))
+
+let sample_client () = (Workload.Population.clients (Lazy.force small_population)).(0)
+
+let elgamal_key = lazy (Crypto.Elgamal.keygen fixture_drbg)
+
+let psc_proto () =
+  Psc.Protocol.create
+    (Psc.Protocol.config ~table_size:1_024 ~num_cps:3 ~noise_flips_per_cp:32
+       ~proof_rounds:None ~verify:false ())
+    ~num_dcs:2 ~seed:9
+
+(* --- one kernel per table/figure --- *)
+
+let bench_table1 =
+  Test.make ~name:"table1/action-bound-derivation"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun a -> ignore (Dp.Action_bounds.bound_value a))
+           Dp.Action_bounds.all_actions))
+
+let bench_fig1 =
+  Test.make ~name:"fig1/exit-visit-simulation"
+    (Staged.stage (fun () ->
+         let engine = Lazy.force small_engine in
+         Torsim.Engine.exit_visit engine (sample_client ())
+           ~dest:(Torsim.Event.Hostname "example.com") ~port:443 ~subsequent_streams:19
+           ~bytes:1_000_000.0 ()))
+
+let bench_fig2 =
+  Test.make ~name:"fig2/primary-domain-classification"
+    (Staged.stage (fun () ->
+         ignore (Tormeasure.Exp_alexa.classify_rank "www.amazon.com");
+         ignore (Tormeasure.Exp_alexa.classify_rank "onionoo.torproject.org");
+         ignore (Tormeasure.Exp_alexa.classify_rank "s123456.com");
+         ignore (Tormeasure.Exp_alexa.classify_family "svc7.google.com")))
+
+let bench_fig3 =
+  Test.make ~name:"fig3/tld-classification"
+    (Staged.stage (fun () ->
+         ignore (Tormeasure.Exp_tld.classify_all "s99.co.uk");
+         ignore (Tormeasure.Exp_tld.classify_alexa "www.s99.ru")))
+
+let bench_table2 =
+  Test.make ~name:"table2/psc-insert"
+    (let proto = psc_proto () in
+     let i = ref 0 in
+     Staged.stage (fun () ->
+         incr i;
+         Psc.Protocol.insert proto ~dc:0 (Printf.sprintf "sld%d.com" (!i land 1023))))
+
+let bench_table3 =
+  Test.make ~name:"table3/guard-model-fit"
+    (Staged.stage (fun () ->
+         let m1 =
+           { Stats.Guard_model.fraction = 0.0042; count_ci = Stats.Ci.make 1_400.0 1_600.0 }
+         in
+         let m2 =
+           { Stats.Guard_model.fraction = 0.0088; count_ci = Stats.Ci.make 2_900.0 3_200.0 }
+         in
+         ignore (Stats.Guard_model.fit_promiscuous m1 m2 ~g:3 ~steps:100 ())))
+
+let bench_table4 =
+  Test.make ~name:"table4/client-day-simulation"
+    (Staged.stage (fun () ->
+         Workload.Behavior.run_client_day (Lazy.force small_engine) Workload.Behavior.default
+           (sample_client ()) fixture_rng))
+
+let bench_table5 =
+  Test.make ~name:"table5/psc-pipeline-1k"
+    (Staged.stage (fun () ->
+         let proto = psc_proto () in
+         for i = 0 to 99 do
+           Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "ip:%d" i)
+         done;
+         ignore (Psc.Protocol.run proto)))
+
+let bench_fig4 =
+  Test.make ~name:"fig4/geo-sampling"
+    (Staged.stage (fun () -> ignore (Workload.Geo.sample fixture_rng)))
+
+let bench_table6 =
+  Test.make ~name:"table6/hsdir-ring-lookup"
+    (let ring = Torsim.Engine.hsdir_ring (Lazy.force small_engine) in
+     let i = ref 0 in
+     Staged.stage (fun () ->
+         incr i;
+         ignore (Torsim.Hsdir_ring.responsible ring (Torsim.Onion.bogus_address !i))))
+
+let bench_table7 =
+  Test.make ~name:"table7/descriptor-fetch-simulation"
+    (Staged.stage (fun () ->
+         let engine = Lazy.force small_engine in
+         Torsim.Engine.fetch_descriptor engine ~address:(Torsim.Onion.bogus_address 42)))
+
+let bench_table8 =
+  Test.make ~name:"table8/rendezvous-simulation"
+    (Staged.stage (fun () ->
+         Torsim.Engine.rendezvous (Lazy.force small_engine)
+           ~outcome:(Torsim.Event.Rend_success { cells = 1_500 })))
+
+let bench_users =
+  Test.make ~name:"users/metrics-portal-estimate"
+    (let baseline = Baseline.Metrics_portal.create () in
+     Staged.stage (fun () ->
+         ignore
+           (Baseline.Metrics_portal.estimated_daily_users baseline (Lazy.force small_engine))))
+
+(* --- cryptographic primitives --- *)
+
+let bench_sha256 =
+  Test.make ~name:"crypto/sha256-1KiB"
+    (let block = String.make 1_024 'x' in
+     Staged.stage (fun () -> ignore (Crypto.Sha256.digest block)))
+
+let bench_elgamal =
+  Test.make ~name:"crypto/elgamal-encrypt"
+    (Staged.stage (fun () ->
+         let _, pk = Lazy.force elgamal_key in
+         ignore (Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.marker)))
+
+let bench_shuffle =
+  Test.make ~name:"crypto/shuffle-64-proven"
+    (let _, pk = Lazy.force elgamal_key in
+     let cts =
+       Array.init 64 (fun _ -> Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.one)
+     in
+     Staged.stage (fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:4 fixture_drbg pk cts)))
+
+(* cost scaling in the number of computation parties: each CP adds a
+   shuffle + rerandomize + decrypt pass over the vector *)
+let psc_with_cps num_cps =
+  let proto =
+    Psc.Protocol.create
+      (Psc.Protocol.config ~table_size:512 ~num_cps ~noise_flips_per_cp:16
+         ~proof_rounds:None ~verify:false ())
+      ~num_dcs:2 ~seed:9
+  in
+  for i = 0 to 63 do
+    Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "ip:%d" i)
+  done;
+  ignore (Psc.Protocol.run proto)
+
+let bench_psc_2cps =
+  Test.make ~name:"scaling/psc-512-slots-2cps" (Staged.stage (fun () -> psc_with_cps 2))
+
+let bench_psc_5cps =
+  Test.make ~name:"scaling/psc-512-slots-5cps" (Staged.stage (fun () -> psc_with_cps 5))
+
+let bench_shuffle_proof_rounds =
+  Test.make ~name:"scaling/shuffle-64-rounds16"
+    (let _, pk = Lazy.force elgamal_key in
+     let cts =
+       Array.init 64 (fun _ -> Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.one)
+     in
+     Staged.stage (fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:16 fixture_drbg pk cts)))
+
+let bench_gaussian =
+  Test.make ~name:"dp/gaussian-mechanism"
+    (Staged.stage (fun () ->
+         ignore
+           (Dp.Mechanism.gaussian_mechanism fixture_rng Dp.Mechanism.paper_params
+              ~sensitivity:20.0 1_000.0)))
+
+let all_benches =
+  [
+    bench_table1; bench_fig1; bench_fig2; bench_fig3; bench_table2; bench_table3; bench_table4;
+    bench_table5; bench_fig4; bench_table6; bench_table7; bench_table8; bench_users;
+    bench_sha256; bench_elgamal; bench_shuffle; bench_gaussian; bench_psc_2cps; bench_psc_5cps;
+    bench_shuffle_proof_rounds;
+  ]
+
+let run_perf () =
+  Printf.printf "\n=== Part 2: Bechamel micro-benchmarks (one kernel per table/figure) ===\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1_000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.OLS.estimates (Analyze.one ols instance raw) with
+          | Some [ ns ] -> Printf.printf "  %-40s %12.1f ns/run\n%!" name ns
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        results)
+    all_benches
+
+let run_reproduction seed =
+  Printf.printf "=== Part 1: reproduction of every table and figure ===\n%!";
+  let reports = Tormeasure.Registry.run_all ~seed () in
+  let ok = List.filter Tormeasure.Report.all_ok reports in
+  Printf.printf "\n%d/%d experiments fully within shape tolerances\n%!" (List.length ok)
+    (List.length reports)
+
+let run_ablations () =
+  Printf.printf "\n=== Part 3: ablations of the methodology's design choices ===\n%!";
+  List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let perf_only = List.mem "--perf-only" args in
+  let repro_only = List.mem "--repro-only" args in
+  let seed = 1 in
+  if not perf_only then run_reproduction seed;
+  if not repro_only then run_perf ();
+  if not (perf_only || repro_only) then run_ablations ()

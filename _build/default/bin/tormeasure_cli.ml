@@ -1,0 +1,78 @@
+(* Command-line driver for the reproduction harness.
+
+     tormeasure list                 # list experiments
+     tormeasure run fig2 [-s SEED]   # run one experiment
+     tormeasure run-all [-s SEED]    # run every table and figure *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed for the simulation (runs are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-8s %-11s %s\n" "id" "paper" "description";
+    Printf.printf "%s\n" (String.make 72 '-');
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %-11s %s\n" e.Tormeasure.Registry.id e.Tormeasure.Registry.paper_id
+          e.Tormeasure.Registry.description)
+      Tormeasure.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all reproducible tables and figures")
+    Term.(const run $ const ())
+
+let csv_arg =
+  let doc = "Also write the rows as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let write_csv path reports =
+  match path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    List.iter (fun r -> output_string oc (Tormeasure.Report.to_csv r)) reports;
+    close_out oc;
+    Printf.printf "wrote CSV to %s\n" path
+
+let run_cmd =
+  let id_arg =
+    let doc = "Experiment id (see $(b,list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id seed csv =
+    match Tormeasure.Registry.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S; try `tormeasure list`\n" id;
+      exit 1
+    | Some e ->
+      let report = e.Tormeasure.Registry.run ~seed in
+      Tormeasure.Report.print report;
+      write_csv csv [ report ];
+      if not (Tormeasure.Report.all_ok report) then exit 2
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print paper-vs-measured rows")
+    Term.(const run $ id_arg $ seed_arg $ csv_arg)
+
+let ablations_cmd =
+  let run () = List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ()) in
+  Cmd.v (Cmd.info "ablations" ~doc:"Run the methodology ablation studies")
+    Term.(const run $ const ())
+
+let run_all_cmd =
+  let run seed csv =
+    let reports = Tormeasure.Registry.run_all ~seed () in
+    write_csv csv reports;
+    let failed = List.filter (fun r -> not (Tormeasure.Report.all_ok r)) reports in
+    Printf.printf "\n%d/%d experiments fully within shape tolerances\n"
+      (List.length reports - List.length failed)
+      (List.length reports);
+    List.iter (fun r -> Printf.printf "  shape deviations in %s\n" r.Tormeasure.Report.id) failed
+  in
+  Cmd.v (Cmd.info "run-all" ~doc:"Run every table and figure")
+    Term.(const run $ seed_arg $ csv_arg)
+
+let () =
+  let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd ]))

@@ -1,0 +1,1 @@
+examples/exit_domains.ml: Printf Tormeasure

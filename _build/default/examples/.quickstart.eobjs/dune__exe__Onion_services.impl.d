@@ -1,0 +1,1 @@
+examples/onion_services.ml: Printf Tormeasure

@@ -1,0 +1,1 @@
+examples/privacy_budget.ml: Dp List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float List Printf Privcount Prng Stats Torsim Workload

@@ -1,0 +1,1 @@
+examples/replay_log.ml: Filename List Printf Privcount Prng Sys Torsim Workload

@@ -1,0 +1,1 @@
+examples/unique_clients.ml: Array Dp List Printf Prng Psc Stats Torsim Workload

@@ -1,0 +1,55 @@
+(* Example: the safety methodology of §3.2/§8 as code — derive the
+   action bounds from activity models, calibrate the noise of each
+   planned statistic, schedule the campaign through the accountant
+   (no parallel measurements, 24h gaps), and account the total privacy
+   spend under basic and advanced composition.
+
+   Run with:  dune exec examples/privacy_budget.exe *)
+
+let () =
+  let params = Dp.Mechanism.paper_params in
+  Printf.printf "privacy parameters: eps = %.1f, delta = %g (paper section 3.2)\n\n"
+    params.Dp.Mechanism.epsilon params.Dp.Mechanism.delta;
+
+  (* 1. the action bounds, derived, with the noise each one implies *)
+  Printf.printf "%-44s %10s %14s\n" "protected action (24h)" "bound" "gaussian sigma";
+  List.iter
+    (fun action ->
+      let bound = Dp.Action_bounds.bound_value action in
+      let sigma = Dp.Mechanism.gaussian_sigma params ~sensitivity:bound in
+      Printf.printf "%-44s %10.0f %14.0f\n" (Dp.Action_bounds.action_name action) bound sigma)
+    Dp.Action_bounds.all_actions;
+
+  (* 2. a campaign schedule: one statistic per day, 24h apart *)
+  let accountant = Dp.Accountant.create () in
+  let statistics =
+    [ "exit streams"; "alexa rank"; "alexa siblings"; "tlds"; "unique slds"; "client conns";
+      "unique ips"; "countries"; "ases"; "onion publishes"; "onion fetches"; "rendezvous" ]
+  in
+  List.iteri
+    (fun day statistic ->
+      Dp.Accountant.register accountant ~start_hour:(day * 48) ~duration_hours:24
+        ~system:(if day mod 2 = 0 then Dp.Accountant.PrivCount else Dp.Accountant.PSC)
+        ~statistic ~params)
+    statistics;
+  let total = Dp.Accountant.total_spend accountant in
+  Printf.printf "\ncampaign: %d measurements, 48h apart\n" (List.length statistics);
+  Printf.printf "basic-composition spend  : eps = %.2f, delta = %g\n" total.Dp.Mechanism.epsilon
+    total.Dp.Mechanism.delta;
+  let advanced =
+    Dp.Composition.advanced params ~rounds:(List.length statistics) ~delta_slack:1e-9
+  in
+  Printf.printf "advanced-composition bound: eps = %.2f, delta = %g\n"
+    advanced.Dp.Mechanism.epsilon advanced.Dp.Mechanism.delta;
+
+  (* 3. one 24h window never sees more than a single publication *)
+  let w = Dp.Accountant.window_spend accountant ~window_start:0 in
+  Printf.printf "worst 24h adjacency window: eps = %.2f (a single statistic)\n"
+    w.Dp.Mechanism.epsilon;
+
+  (* 4. how many more measurement days a yearly budget allows *)
+  let budget = Dp.Mechanism.{ epsilon = 5.0; delta = 1e-6 } in
+  let k =
+    Dp.Composition.rounds_within_budget ~per_round:params ~budget ~delta_slack:1e-8
+  in
+  Printf.printf "a (5.0, 1e-6) yearly budget funds %d such measurements\n" k

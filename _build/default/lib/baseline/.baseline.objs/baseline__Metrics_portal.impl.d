@@ -1,0 +1,1 @@
+lib/baseline/metrics_portal.ml: Array Hashtbl Prng Torsim

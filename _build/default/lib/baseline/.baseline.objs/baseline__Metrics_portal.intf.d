@@ -1,0 +1,1 @@
+lib/baseline/metrics_portal.mli: Prng Torsim

@@ -1,0 +1,1 @@
+lib/baseline/privex.ml: Array Crypto Dp Float List Printf Prng

@@ -1,0 +1,56 @@
+(* The Tor Metrics Portal user estimator (Loesing et al. 2010), the
+   baseline the paper's direct measurements contradict (§5.1, §7).
+
+   The heuristic: count directory requests at the subset of directory
+   mirrors that report statistics, divide by the fraction of directory
+   capacity they represent to get network-wide requests, then divide by
+   an assumed requests-per-user-per-day constant (clients fetch a
+   consensus roughly every 4 hours => ~10 requests/day in the deployed
+   estimator). When real clients make far more or fewer directory
+   requests than the heuristic assumes — or when blocked clients
+   (e.g. the paper's UAE anomaly) loop on directory fetches — the
+   estimate is systematically off. *)
+
+type config = {
+  assumed_requests_per_user_per_day : float;
+  reporting_fraction : float; (* fraction of mirrors that report stats *)
+}
+
+let default = { assumed_requests_per_user_per_day = 10.0; reporting_fraction = 0.6 }
+
+type t = {
+  config : config;
+  mutable requests_observed : int;
+  reporting_relays : (Torsim.Relay.id, unit) Hashtbl.t;
+}
+
+let create ?(config = default) () =
+  { config; requests_observed = 0; reporting_relays = Hashtbl.create 64 }
+
+(* Attach the estimator's statistics reporting to a fraction of the
+   guard relays (directory mirrors). *)
+let attach t engine rng =
+  let consensus = Torsim.Engine.consensus engine in
+  let guards = Torsim.Consensus.guard_ids consensus in
+  Array.iter
+    (fun relay_id ->
+      if Prng.Rng.bernoulli rng t.config.reporting_fraction then begin
+        Hashtbl.replace t.reporting_relays relay_id ();
+        Torsim.Engine.add_sink engine relay_id (fun event ->
+            match event with
+            | Torsim.Event.Directory_request _ -> t.requests_observed <- t.requests_observed + 1
+            | _ -> ())
+      end)
+    guards
+
+let reporting_weight_fraction t engine =
+  let consensus = Torsim.Engine.consensus engine in
+  let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.reporting_relays [] in
+  Torsim.Consensus.guard_fraction consensus ids
+
+let estimated_daily_users t engine =
+  let fraction = reporting_weight_fraction t engine in
+  if fraction <= 0.0 then 0.0
+  else
+    float_of_int t.requests_observed /. fraction
+    /. t.config.assumed_requests_per_user_per_day

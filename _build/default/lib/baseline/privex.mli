@@ -1,0 +1,31 @@
+(** PrivEx-S2 (Elahi, Danezis, Goldberg, CCS'14), the secret-sharing
+    predecessor PrivCount extends (paper §7). Differences from
+    PrivCount that this implementation preserves:
+
+    - noise is Laplace (pure ε-DP), added once by each DC;
+    - one fixed epoch: no repeatable collection phases, so a
+      multi-statistic campaign must re-run setup per epoch;
+    - a single tally key-holder set (no share-keeper/tally split).
+
+    Used by the ablation comparing the systems' noise behaviour. *)
+
+type config = {
+  epsilon : float;
+  sensitivity : float;
+  num_tkses : int;  (** tally-key servers (PrivEx's mix of SK+TS) *)
+}
+
+val config : ?num_tkses:int -> epsilon:float -> sensitivity:float -> unit -> config
+
+type t
+
+val create : config -> num_dcs:int -> seed:int -> t
+
+val increment : t -> dc:int -> by:int -> unit
+(** PrivEx counts one statistic per deployment. *)
+
+val scale : t -> float
+(** The Laplace scale b = Δ/ε each DC draws its noise share from. *)
+
+val tally : t -> float
+(** Close the epoch and publish the noisy total. Callable once. *)

@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Array Baseline Crypto Dp Float Harness Hashtbl List Option Printf Privcount Psc Report Stats String Torsim Workload

@@ -1,0 +1,1 @@
+lib/core/exp_action_bounds.ml: Dp List Printf Report

@@ -1,0 +1,1 @@
+lib/core/exp_alexa.ml: Float Harness List Option Paper Printf Privcount Report String Torsim Workload

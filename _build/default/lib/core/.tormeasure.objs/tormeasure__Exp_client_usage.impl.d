@@ -1,0 +1,1 @@
+lib/core/exp_client_usage.ml: Harness List Paper Printf Privcount Report Stats Torsim Workload

@@ -1,0 +1,1 @@
+lib/core/exp_descriptors.ml: Exp_onion_addresses Float Harness List Paper Printf Privcount Report Stats Torsim Workload

@@ -1,0 +1,1 @@
+lib/core/exp_exit_streams.ml: Harness List Paper Printf Privcount Report Stats Torsim Workload

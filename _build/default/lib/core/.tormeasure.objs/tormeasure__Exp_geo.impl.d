@@ -1,0 +1,1 @@
+lib/core/exp_geo.ml: Harness List Paper Printf Privcount Report String Torsim Workload

@@ -1,0 +1,1 @@
+lib/core/exp_guard_model.ml: Array Dp Harness List Paper Printf Prng Psc Report Stats Torsim Workload

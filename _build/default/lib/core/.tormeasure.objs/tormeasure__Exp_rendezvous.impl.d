@@ -1,0 +1,1 @@
+lib/core/exp_rendezvous.ml: Float Harness List Paper Printf Privcount Report Stats Torsim Workload

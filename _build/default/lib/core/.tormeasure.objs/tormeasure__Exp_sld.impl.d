@@ -1,0 +1,1 @@
+lib/core/exp_sld.ml: Dp Exp_alexa Harness List Paper Printf Psc Report Stats Torsim Workload

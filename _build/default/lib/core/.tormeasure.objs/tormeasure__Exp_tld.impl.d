@@ -1,0 +1,1 @@
+lib/core/exp_tld.ml: Exp_alexa Float Harness List Option Paper Printf Privcount Report Torsim Workload

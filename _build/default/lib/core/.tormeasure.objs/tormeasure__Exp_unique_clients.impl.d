@@ -1,0 +1,1 @@
+lib/core/exp_unique_clients.ml: Array Dp Float Harness List Paper Printf Prng Psc Report Stats Torsim Workload

@@ -1,0 +1,1 @@
+lib/core/exp_user_estimate.ml: Array Baseline Dp Harness List Paper Printf Prng Psc Report Torsim Workload

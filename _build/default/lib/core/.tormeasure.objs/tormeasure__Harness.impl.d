@@ -1,0 +1,1 @@
+lib/core/harness.ml: List Privcount Prng Psc Torsim

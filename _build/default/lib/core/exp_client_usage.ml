@@ -1,0 +1,109 @@
+(* Table 4: network-wide client connections, circuits and data volume,
+   inferred from PrivCount measurements at guards with ~1.44% of the
+   entry selection probability. *)
+
+type outcome = {
+  report : Report.t;
+  connections : float;
+  circuits : float;
+  bytes : float;
+}
+
+let run ?(seed = 46) ?(clients = 40_000) () =
+  let setup = Harness.make_setup ~seed () in
+  let observer_ids, fraction =
+    Harness.observers setup ~role:`Guard ~target_fraction:Paper.table4_guard_prob
+  in
+  (* Sensitivities: the action bounds scaled by simulated/live volume so
+     the noise-to-signal ratio matches the deployment. *)
+  let sim_fraction = float_of_int clients /. 11.0e6 in
+  let s_conn = max 1.0 (12.0 *. sim_fraction) in
+  let s_circ = max 1.0 (651.0 *. sim_fraction) in
+  let s_bytes = max 1.0 (407.0 *. 1048576.0 *. sim_fraction) in
+  let specs =
+    [
+      Privcount.Counter.spec ~name:"connections" ~sensitivity:s_conn;
+      Privcount.Counter.spec ~name:"circuits" ~sensitivity:s_circ;
+      Privcount.Counter.spec ~name:"bytes" ~sensitivity:s_bytes;
+    ]
+  in
+  let deployment =
+    Privcount.Deployment.create (Privcount.Deployment.config specs)
+      ~num_dcs:(List.length observer_ids) ~seed
+  in
+  let mapping = function
+    | Torsim.Event.Client_connection _ -> [ ("connections", 1) ]
+    | Torsim.Event.Client_circuit _ -> [ ("circuits", 1) ]
+    | Torsim.Event.Entry_bytes { bytes; _ } -> [ ("bytes", int_of_float bytes) ]
+    | _ -> []
+  in
+  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  let population =
+    Workload.Population.build
+      ~config:
+        {
+          Workload.Population.default with
+          Workload.Population.selective = clients;
+          promiscuous = clients / 400;
+        }
+      setup.Harness.consensus setup.Harness.rng
+  in
+  Workload.Behavior.run_population_day setup.Harness.engine population setup.Harness.rng;
+  let results = Privcount.Deployment.tally deployment in
+  let infer name =
+    let r = Privcount.Ts.value_exn results name in
+    ( Stats.Extrapolate.count ~fraction r.Privcount.Ts.value,
+      Stats.Extrapolate.count_ci ~fraction r.Privcount.Ts.ci )
+  in
+  let conns, conns_ci = infer "connections" in
+  let circs, circs_ci = infer "circuits" in
+  let bytes, bytes_ci = infer "bytes" in
+  let truth = Torsim.Engine.truth setup.Harness.engine in
+  let t_conns = float_of_int truth.Torsim.Ground_truth.connections in
+  let t_circs =
+    float_of_int (truth.Torsim.Ground_truth.data_circuits + truth.Torsim.Ground_truth.directory_circuits)
+  in
+  let t_bytes = truth.Torsim.Ground_truth.entry_bytes in
+  let ratio_paper = fst Paper.table4_circuits /. fst Paper.table4_connections in
+  let ratio_sim = circs /. conns in
+  let paper3 (v, (lo, hi)) = Printf.sprintf "%s [%s; %s]" (Report.fmt_count v) (Report.fmt_count lo) (Report.fmt_count hi) in
+  let rows =
+    [
+      Report.row ~label:"connections"
+        ~paper:(paper3 Paper.table4_connections)
+        ~measured:(Report.fmt_count_ci conns conns_ci)
+        ~truth:(Report.fmt_count t_conns)
+        ~ok:(Stats.Ci.contains conns_ci t_conns || Report.within ~tolerance:0.08 ~expected:t_conns conns)
+        ();
+      Report.row ~label:"circuits"
+        ~paper:(paper3 Paper.table4_circuits)
+        ~measured:(Report.fmt_count_ci circs circs_ci)
+        ~truth:(Report.fmt_count t_circs)
+        ~ok:(Stats.Ci.contains circs_ci t_circs || Report.within ~tolerance:0.08 ~expected:t_circs circs)
+        ();
+      Report.row ~label:"data (TiB at live scale)"
+        ~paper:(paper3 Paper.table4_data_tib)
+        ~measured:(Report.fmt_count_ci bytes bytes_ci)
+        ~truth:(Report.fmt_count t_bytes)
+        ~ok:(Stats.Ci.contains bytes_ci t_bytes || Report.within ~tolerance:0.12 ~expected:t_bytes bytes)
+        ();
+      Report.row ~label:"circuits per connection"
+        ~paper:(Printf.sprintf "%.1f" ratio_paper)
+        ~measured:(Printf.sprintf "%.1f" ratio_sim)
+        ~ok:(Report.within ~tolerance:0.35 ~expected:ratio_paper ratio_sim) ();
+    ]
+  in
+  {
+    report =
+      {
+        Report.id = "Table 4";
+        title = "Network-wide client usage (PrivCount at guards)";
+        scale_note =
+          Printf.sprintf "%d simulated clients (live: ~11M IPs); guard prob %.2f%%" clients
+            (100.0 *. fraction);
+        rows;
+      };
+    connections = conns;
+    circuits = circs;
+    bytes;
+  }

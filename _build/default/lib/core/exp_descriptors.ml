@@ -1,0 +1,125 @@
+(* Table 7: onion-service descriptor fetch activity at HSDirs —
+   total/succeeded/failed fetches (90.9% fail on the live network), the
+   implied failure rate per second, and the public-vs-unknown split of
+   successful fetches against the (ahmia-like) public index. *)
+
+type outcome = {
+  report : Report.t;
+  fail_rate : float;
+  public_share : float;
+}
+
+let run ?(seed = 51) ?(fetches = 250_000) () =
+  let setup = Harness.make_setup ~seed () in
+  let observers = Exp_onion_addresses.pick_hsdir_observers setup ~count:8 in
+  let ring = Torsim.Engine.hsdir_ring setup.Harness.engine in
+  (* each fetch hits one uniformly-chosen responsible HSDir; the
+     observation probability is the observers' actual arc share of the
+     ring (computable from the public ring structure) *)
+  let fraction = Torsim.Hsdir_ring.fetch_visibility ring observers in
+  let sim_fraction = float_of_int fetches /. fst Paper.table7_fetched in
+  let sensitivity = max 1.0 (30.0 *. sim_fraction) in
+  let specs =
+    [
+      Privcount.Counter.spec ~name:"fetch_total" ~sensitivity;
+      Privcount.Counter.spec ~name:"fetch_ok" ~sensitivity;
+      Privcount.Counter.spec ~name:"fetch_fail" ~sensitivity;
+      Privcount.Counter.spec ~name:"fetch_ok_public" ~sensitivity;
+      Privcount.Counter.spec ~name:"fetch_ok_unknown" ~sensitivity;
+    ]
+  in
+  (* the per-user fetch bound covers the whole family of fetch counters
+     jointly (a fetch contributes to total plus one disjoint subcounter) *)
+  let deployment =
+    Privcount.Deployment.create
+      (Privcount.Deployment.config ~split_budget:false specs)
+      ~num_dcs:(List.length observers) ~seed
+  in
+  let mapping = function
+    | Torsim.Event.Descriptor_fetch { result; _ } -> (
+      ("fetch_total", 1)
+      ::
+      (match result with
+      | Torsim.Event.Fetch_ok { public } ->
+        [ ("fetch_ok", 1); ((if public then "fetch_ok_public" else "fetch_ok_unknown"), 1) ]
+      | Torsim.Event.Fetch_missing | Torsim.Event.Fetch_malformed -> [ ("fetch_fail", 1) ]))
+    | _ -> []
+  in
+  Harness.attach_privcount setup deployment ~observer_ids:observers ~mapping;
+  let config =
+    { Workload.Onion_activity.default with Workload.Onion_activity.total_fetches = fetches }
+  in
+  Workload.Onion_activity.run ~config setup.Harness.engine setup.Harness.rng;
+  let results = Privcount.Deployment.tally deployment in
+  let infer name =
+    let r = Privcount.Ts.value_exn results name in
+    ( Stats.Extrapolate.count ~fraction r.Privcount.Ts.value,
+      Stats.Extrapolate.count_ci ~fraction r.Privcount.Ts.ci )
+  in
+  let total, total_ci = infer "fetch_total" in
+  let ok, ok_ci = infer "fetch_ok" in
+  let failed, failed_ci = infer "fetch_fail" in
+  let pub, _ = infer "fetch_ok_public" in
+  let unk, _ = infer "fetch_ok_unknown" in
+  let truth = Torsim.Engine.truth setup.Harness.engine in
+  let t_total = float_of_int truth.Torsim.Ground_truth.descriptor_fetches in
+  let t_ok = float_of_int truth.Torsim.Ground_truth.descriptor_fetch_ok in
+  let t_failed = float_of_int truth.Torsim.Ground_truth.descriptor_fetch_failed in
+  let fail_rate = failed /. total in
+  let fails_per_sec = failed /. 86_400.0 in
+  let public_share = pub /. ok in
+  let unknown_share = unk /. ok in
+  let paper3 (v, (lo, hi)) =
+    Printf.sprintf "%s [%s; %s]" (Report.fmt_count v) (Report.fmt_count lo) (Report.fmt_count hi)
+  in
+  let paper_pct (v, (lo, hi)) = Printf.sprintf "%.1f%% [%.1f; %.1f]%%" v lo hi in
+  let rows =
+    [
+      Report.row ~label:"descriptors fetched"
+        ~paper:(paper3 Paper.table7_fetched)
+        ~measured:(Report.fmt_count_ci total total_ci)
+        ~truth:(Report.fmt_count t_total)
+        ~ok:(Stats.Ci.contains total_ci t_total || Report.within ~tolerance:0.10 ~expected:t_total total)
+        ();
+      Report.row ~label:"fetches succeeded"
+        ~paper:(paper3 Paper.table7_succeeded)
+        ~measured:(Report.fmt_count_ci ok ok_ci)
+        ~truth:(Report.fmt_count t_ok)
+        ~ok:(Stats.Ci.contains ok_ci t_ok || Report.within ~tolerance:0.15 ~expected:t_ok ok) ();
+      Report.row ~label:"fetches failed"
+        ~paper:(paper3 Paper.table7_failed)
+        ~measured:(Report.fmt_count_ci failed failed_ci)
+        ~truth:(Report.fmt_count t_failed)
+        ~ok:(Stats.Ci.contains failed_ci t_failed || Report.within ~tolerance:0.10 ~expected:t_failed failed)
+        ();
+      Report.row ~label:"failure rate"
+        ~paper:(paper_pct Paper.table7_fail_rate_pct)
+        ~measured:(Printf.sprintf "%.1f%%" (100.0 *. fail_rate))
+        ~truth:(Printf.sprintf "%.1f%%" (100.0 *. t_failed /. t_total))
+        ~ok:(Float.abs ((100.0 *. fail_rate) -. fst Paper.table7_fail_rate_pct) < 4.0) ();
+      Report.row ~label:"failures per second (sim-scale)"
+        ~paper:"1,400/s at live scale"
+        ~measured:(Printf.sprintf "%.2f/s" fails_per_sec) ();
+      Report.row ~label:"succeeded: public index"
+        ~paper:(paper_pct Paper.table7_public_pct)
+        ~measured:(Printf.sprintf "%.1f%%" (100.0 *. public_share))
+        ~ok:(Float.abs ((100.0 *. public_share) -. fst Paper.table7_public_pct) < 15.0) ();
+      Report.row ~label:"succeeded: unknown"
+        ~paper:(paper_pct Paper.table7_unknown_pct)
+        ~measured:(Printf.sprintf "%.1f%%" (100.0 *. unknown_share))
+        ~ok:(Float.abs ((100.0 *. unknown_share) -. fst Paper.table7_unknown_pct) < 15.0) ();
+    ]
+  in
+  {
+    report =
+      {
+        Report.id = "Table 7";
+        title = "Onion-service descriptor fetches (PrivCount at HSDirs)";
+        scale_note =
+          Printf.sprintf "%d simulated fetches (live: ~134M); HSDir slot share %.2f%%" fetches
+            (100.0 *. fraction);
+        rows;
+      };
+    fail_rate;
+    public_share;
+  }

@@ -1,0 +1,31 @@
+(** Shared experiment plumbing: network construction, observer
+    selection, and wiring PrivCount/PSC collectors to the simulation
+    engine. *)
+
+type setup = {
+  engine : Torsim.Engine.t;
+  consensus : Torsim.Consensus.t;
+  rng : Prng.Rng.t;  (** workload randomness, independent of the engine's *)
+}
+
+val make_setup : ?relays:int -> seed:int -> unit -> setup
+
+val observers :
+  setup -> role:[ `Exit | `Guard | `Middle ] -> target_fraction:float ->
+  Torsim.Relay.id list * float
+(** Observer relays for a role and the exact weight fraction achieved
+    (the "mean combined weight" used for extrapolation). *)
+
+val attach_privcount :
+  setup -> Privcount.Deployment.t -> observer_ids:Torsim.Relay.id list ->
+  mapping:(Torsim.Event.t -> (string * int) list) -> unit
+(** One DC per observer relay; [mapping] turns events into counter
+    increments. *)
+
+val attach_psc :
+  setup -> Psc.Protocol.t -> observer_ids:Torsim.Relay.id list ->
+  items:(Torsim.Event.t -> string list) -> unit
+
+val psc_table_size : expected_items:int -> int
+(** Power-of-two table about 4x the expected uniques: keeps the
+    collision correction small and well-conditioned. *)

@@ -1,0 +1,105 @@
+(* Every number the paper reports in its evaluation, as data. The
+   harness prints these next to our measured values; tests assert that
+   the measured *shapes* (fractions, factors, orderings) agree. *)
+
+(* --- Figure 1: exit streams over 24h (network-wide inferences) --- *)
+let fig1_total_streams = 2.0e9
+let fig1_initial_fraction = 0.05
+let fig1_exit_weight = 0.015
+
+(* --- Figure 2: Alexa rank buckets (% of primary domains) --- *)
+let fig2_rank_buckets =
+  [ ("(0,10]", 8.4); ("(10,100]", 5.1); ("(100,1k]", 6.2); ("(1k,10k]", 4.3);
+    ("(10k,100k]", 7.7); ("(100k,1m]", 7.0); ("other", 21.7) ]
+
+let fig2_torproject_rank_pct = 40.1
+let fig2_siblings =
+  [ ("google", 2.4); ("youtube", 0.1); ("facebook", 0.3); ("baidu", 0.0); ("wikipedia", 0.0);
+    ("yahoo", 0.2); ("reddit", 0.0); ("qq", 0.1); ("amazon", 9.7); ("duckduckgo", 0.4);
+    ("other", 48.1) ]
+
+let fig2_torproject_siblings_pct = 39.0
+let fig2_alexa_coverage = 0.80  (* ~80% of primary domains are in the Alexa list *)
+let amazon_www_pct = 8.6
+let onionoo_pct = 43.4
+
+(* --- Figure 3: TLD shares (% of primary domains) --- *)
+let fig3_all_sites =
+  [ ("com", 37.2); ("org", 44.1); ("net", 5.0); ("br", 0.3); ("cn", 0.0); ("de", 0.7);
+    ("fr", 0.4); ("in", 0.2); ("ir", 0.2); ("it", 0.1); ("jp", 0.5); ("pl", 0.3);
+    ("ru", 2.8); ("uk", 0.5); ("other", 7.9) ]
+
+let fig3_alexa_sites =
+  [ ("com", 26.6); ("org", 1.1); ("net", 1.1); ("br", 0.5); ("cn", 0.2); ("de", 0.4);
+    ("fr", 0.4); ("in", 0.0); ("ir", 0.0); ("it", 0.0); ("jp", 0.4); ("pl", 0.2);
+    ("ru", 2.4); ("uk", 0.1); ("other", 26.1) ]
+
+let fig3_alexa_torproject = 40.4
+
+(* --- Table 2: unique second-level domains (local PSC counts) --- *)
+let table2_slds = (471_228., (470_357., 472_099.))
+let table2_alexa_slds = (35_660., (34_789., 37_393.))
+let table2_network_alexa_slds = (513_342., (512_760., 514_693.))
+let table2_exit_weight = 0.0124
+
+(* --- Table 3: promiscuous clients and network-wide client IPs --- *)
+let table3 =
+  [ (3, (15_856., 21_522.), (10_851_783., 11_240_709.));
+    (4, (15_129., 21_056.), (8_195_072., 8_493_863.));
+    (5, (14_428., 20_451.), (6_605_713., 6_849_612.)) ]
+
+let table3_m1 = (0.0042, 148_174.)  (* (guard fraction, unique IPs) *)
+let table3_m2 = (0.0088, 269_795.)
+let table3_pure_g_range = (27, 34)
+
+(* --- Table 4: network-wide client usage --- *)
+let table4_data_tib = (517., (504., 530.))
+let table4_connections = (148e6, (143e6, 153e6))
+let table4_circuits = (1_286e6, (1_246e6, 1_326e6))
+let table4_guard_prob = 0.0144
+
+(* --- Table 5: locally observed unique client statistics --- *)
+let table5_ips = (313_213., (313_039., 376_343.))
+let table5_countries = (203., (141., 250.))
+let table5_ases = (11_882., (11_708., 12_053.))
+let table5_ips_4day = (672_303., (671_781., 1_118_147.))
+let table5_churn_per_day = (119_697., (119_581., 247_268.))
+let table5_guard_weight = 0.0119
+
+(* --- §5.1 headline: users --- *)
+let headline_daily_users = 8_773_473.
+let tor_metrics_daily_users = 2_150_000.
+let underestimate_factor = 4.0
+
+(* --- Figure 4: country ordering --- *)
+let fig4_top_connections = [ "US"; "RU"; "DE" ]
+let fig4_ae_circuit_rank = 6
+
+(* --- Table 6: unique onion addresses (network-wide) --- *)
+let table6_published = (70_826., (65_738., 76_350.))
+let table6_fetched = (74_900., (34_363., 696_255.))
+let table6_publish_weight = 0.0275
+let table6_fetch_weight = 0.00534
+let table6_local_published = 3_900.
+let tor_metrics_v2_onions = 79_000.
+
+(* --- Table 7: onion descriptor fetches (network-wide) --- *)
+let table7_fetched = (134e6, (117e6, 150e6))
+let table7_succeeded = (12.2e6, (10.6e6, 13.7e6))
+let table7_failed = (121e6, (103e6, 140e6))
+let table7_fail_rate_pct = (90.9, (87.8, 93.2))
+let table7_public_pct = (56.8, (36.9, 83.6))
+let table7_unknown_pct = (47.6, (28.8, 72.7))
+let table7_fetch_weight = 0.00465
+
+(* --- Table 8: rendezvous --- *)
+let table8_circuits = (366e6, (351e6, 380e6))
+let table8_success_pct = (8.08, (3.47, 13.1))
+let table8_closed_pct = (4.37, (0.0, 9.23))
+let table8_expired_pct = (84.9, (77.0, 93.5))
+let table8_payload_tib = (20.1, (15.2, 24.9))
+let table8_gbit_s = (2.04, (1.55, 2.53))
+let table8_kib_per_circuit = (730., (341., 2_070.))
+let table8_rend_weight = 0.0088
+
+let cell_payload_bytes = 498.

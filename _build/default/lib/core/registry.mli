@@ -1,0 +1,16 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, runnable by id. *)
+
+type experiment = {
+  id : string;          (** "table1", "fig2", ..., "users" *)
+  paper_id : string;    (** "Table 1", "Figure 2", ... *)
+  description : string;
+  run : seed:int -> Report.t;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_all : ?seed:int -> unit -> Report.t list
+(** Run and print every experiment, in paper order. *)

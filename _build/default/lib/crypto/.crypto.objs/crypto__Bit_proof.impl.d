@@ -1,0 +1,1 @@
+lib/crypto/bit_proof.ml: Elgamal Group String

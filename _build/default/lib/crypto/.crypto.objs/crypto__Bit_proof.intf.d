@@ -1,0 +1,1 @@
+lib/crypto/bit_proof.mli: Drbg Elgamal Group

@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Group List

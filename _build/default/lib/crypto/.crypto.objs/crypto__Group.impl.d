@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Char Drbg List Sha256 String

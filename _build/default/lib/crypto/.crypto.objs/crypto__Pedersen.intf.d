@@ -1,0 +1,1 @@
+lib/crypto/pedersen.mli: Drbg Group

@@ -1,0 +1,1 @@
+lib/crypto/schnorr_sig.ml: Char Group String

@@ -1,0 +1,1 @@
+lib/crypto/shuffle.ml: Array Buffer Char Drbg Elgamal Fun Group List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/shuffle.mli: Drbg Elgamal

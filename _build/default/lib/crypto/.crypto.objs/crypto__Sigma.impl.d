@@ -1,0 +1,1 @@
+lib/crypto/sigma.ml: Group String

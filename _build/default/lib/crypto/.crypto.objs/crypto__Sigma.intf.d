@@ -1,0 +1,1 @@
+lib/crypto/sigma.mli: Drbg Group

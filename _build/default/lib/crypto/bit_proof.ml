@@ -1,0 +1,70 @@
+(* Standard CDS (Cramer–Damgård–Schoenmakers) disjunction of two
+   Chaum–Pedersen statements. Statement_i (i in {0,1}):
+     log_g c1 = log_pk (c2 / m_i)  with m_0 = 1, m_1 = marker.
+   The prover simulates the false branch with a chosen sub-challenge
+   and answers the true branch honestly; the sub-challenges must sum to
+   the Fiat–Shamir hash of the whole transcript. *)
+
+type branch = {
+  a1 : Group.elt;
+  a2 : Group.elt;
+  e : Group.exp;
+  z : Group.exp;
+}
+
+type t = { b0 : branch; b1 : branch }
+
+let message_of = function false -> Elgamal.one | true -> Elgamal.marker
+
+let transcript ~pk ~ct ~(b0 : Group.elt * Group.elt) ~(b1 : Group.elt * Group.elt) =
+  let open Group in
+  String.concat ""
+    [
+      "bitproof|"; elt_to_string pk; Elgamal.ciphertext_to_string ct;
+      elt_to_string (fst b0); elt_to_string (snd b0);
+      elt_to_string (fst b1); elt_to_string (snd b1);
+    ]
+
+(* y_i = c2 / m_i: the element whose log base pk must match log_g c1. *)
+let y_of ct bit = Group.div ct.Elgamal.c2 (message_of bit)
+
+let simulate drbg ~pk ~ct ~bit =
+  let e = Group.random_exp drbg in
+  let z = Group.random_exp drbg in
+  let y = y_of ct bit in
+  (* a1 = g^z / c1^e, a2 = pk^z / y^e makes the verification equations
+     hold for the chosen (e, z) *)
+  let a1 = Group.div (Group.pow_g z) (Group.pow ct.Elgamal.c1 e) in
+  let a2 = Group.div (Group.pow pk z) (Group.pow y e) in
+  { a1; a2; e; z }
+
+let prove drbg ~pk ~r ~bit ct =
+  let fake = simulate drbg ~pk ~ct ~bit:(not bit) in
+  let k = Group.random_exp drbg in
+  let real_a1 = Group.pow_g k and real_a2 = Group.pow pk k in
+  let commitments =
+    if bit then ((fake.a1, fake.a2), (real_a1, real_a2))
+    else ((real_a1, real_a2), (fake.a1, fake.a2))
+  in
+  let e_total = Group.hash_to_exp (transcript ~pk ~ct ~b0:(fst commitments) ~b1:(snd commitments)) in
+  let e_real = Group.exp_sub e_total fake.e in
+  let z_real = Group.exp_add k (Group.exp_mul e_real r) in
+  let real = { a1 = real_a1; a2 = real_a2; e = e_real; z = z_real } in
+  if bit then { b0 = fake; b1 = real } else { b0 = real; b1 = fake }
+
+let branch_ok ~pk ~ct ~bit { a1; a2; e; z } =
+  let y = y_of ct bit in
+  Group.elt_to_int (Group.pow_g z)
+  = Group.elt_to_int (Group.mul a1 (Group.pow ct.Elgamal.c1 e))
+  && Group.elt_to_int (Group.pow pk z) = Group.elt_to_int (Group.mul a2 (Group.pow y e))
+
+let verify ~pk ct { b0; b1 } =
+  let e_total = Group.hash_to_exp (transcript ~pk ~ct ~b0:(b0.a1, b0.a2) ~b1:(b1.a1, b1.a2)) in
+  Group.exp_to_int (Group.exp_add b0.e b1.e) = Group.exp_to_int e_total
+  && branch_ok ~pk ~ct ~bit:false b0
+  && branch_ok ~pk ~ct ~bit:true b1
+
+let encrypt_bit_proven drbg ~pk bit =
+  let r = Group.random_exp drbg in
+  let ct = Elgamal.encrypt_with ~r pk (message_of bit) in
+  (ct, prove drbg ~pk ~r ~bit ct)

@@ -1,0 +1,21 @@
+(** Disjunctive Chaum–Pedersen proof that an ElGamal ciphertext
+    encrypts a valid bit — either the identity (bit 0) or the canonical
+    marker (bit 1) — without revealing which.
+
+    PSC's computation parties attach one of these to every noise slot
+    they contribute; otherwise a malicious CP could inject
+    Enc(marker^100) slots or other garbage and silently distort the
+    cardinality while "noise" deniability protects it. *)
+
+type t
+
+val prove :
+  Drbg.t -> pk:Elgamal.pub -> r:Group.exp -> bit:bool -> Elgamal.ciphertext -> t
+(** [prove drbg ~pk ~r ~bit ct] where [ct] was produced as
+    [Elgamal.encrypt_with ~r pk (if bit then marker else one)]. *)
+
+val verify : pk:Elgamal.pub -> Elgamal.ciphertext -> t -> bool
+
+val encrypt_bit_proven :
+  Drbg.t -> pk:Elgamal.pub -> bool -> Elgamal.ciphertext * t
+(** Fresh encryption of a bit together with its validity proof. *)

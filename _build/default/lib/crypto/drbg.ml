@@ -1,0 +1,43 @@
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.key t.v
+  end
+
+let create ?(personalization = "") seed =
+  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t (seed ^ personalization);
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  let b = Buffer.create n in
+  while Buffer.length b < n do
+    t.v <- Hmac.sha256 ~key:t.key t.v;
+    Buffer.add_string b t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents b) 0 n
+
+let uniform64 t =
+  let s = generate t 8 in
+  let v = ref 0L in
+  String.iter (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c))) s;
+  !v
+
+let uniform t n =
+  if n <= 0 then invalid_arg "Drbg.uniform: n must be positive";
+  (* Rejection sampling on 62-bit draws ([0, max_int]) to avoid modulo
+     bias; the space size 2^62 itself is not representable. *)
+  let rem = ((max_int mod n) + 1) mod n in
+  let limit = max_int - rem in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (uniform64 t) 2) in
+    if v <= limit then v mod n else draw ()
+  in
+  draw ()

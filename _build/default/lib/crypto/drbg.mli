@@ -1,0 +1,19 @@
+(** HMAC-DRBG (NIST SP 800-90A) over SHA-256: the deterministic random
+    bit generator used wherever protocol parties need randomness that is
+    reproducible from a seed but cryptographically expanded (blinding
+    shares, ElGamal randomness, shuffle permutations). *)
+
+type t
+
+val create : ?personalization:string -> string -> t
+(** [create seed] instantiates the DRBG from entropy-input [seed]. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudorandom bytes and advances the state. *)
+
+val reseed : t -> string -> unit
+
+val uniform : t -> int -> int
+(** [uniform t n] draws an unbiased integer in [0, n). *)
+
+val uniform64 : t -> int64

@@ -1,0 +1,33 @@
+type pub = Group.elt
+type priv = Group.exp
+type ciphertext = { c1 : Group.elt; c2 : Group.elt }
+
+let keygen drbg =
+  let x = Group.random_exp drbg in
+  (x, Group.pow_g x)
+
+let joint_pub pubs = List.fold_left Group.mul Group.one pubs
+
+let encrypt_with ~r pk m = { c1 = Group.pow_g r; c2 = Group.mul m (Group.pow pk r) }
+
+let encrypt drbg pk m = encrypt_with ~r:(Group.random_exp drbg) pk m
+
+let decrypt x { c1; c2 } = Group.div c2 (Group.pow c1 x)
+
+let mul a b = { c1 = Group.mul a.c1 b.c1; c2 = Group.mul a.c2 b.c2 }
+
+let rerandomize drbg pk ct = mul ct (encrypt drbg pk Group.one)
+
+let pow ct k = { c1 = Group.pow ct.c1 k; c2 = Group.pow ct.c2 k }
+
+let partial_decrypt x ct = Group.pow ct.c1 x
+
+let combine_partial ct shares =
+  Group.div ct.c2 (List.fold_left Group.mul Group.one shares)
+
+let is_identity_plaintext m = Group.elt_to_int m = Group.elt_to_int Group.one
+
+let one = Group.one
+let marker = Group.hash_to_elt "psc-bit-one-marker"
+
+let ciphertext_to_string { c1; c2 } = Group.elt_to_string c1 ^ Group.elt_to_string c2

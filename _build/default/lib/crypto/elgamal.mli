@@ -1,0 +1,50 @@
+(** Exponential ElGamal over {!Group}: rerandomizable, multiplicatively
+    homomorphic ciphertexts. PSC stores each oblivious counter bit as an
+    encryption of either the identity (bit 0) or a non-identity element
+    (bit 1) under the joint key of all computation parties. *)
+
+type pub = Group.elt
+type priv = Group.exp
+
+type ciphertext = { c1 : Group.elt; c2 : Group.elt }
+
+val keygen : Drbg.t -> priv * pub
+
+val joint_pub : pub list -> pub
+(** Product of the parties' public keys: the joint key whose private key
+    is the (never-materialized) sum of the parties' private keys. *)
+
+val encrypt : Drbg.t -> pub -> Group.elt -> ciphertext
+
+val encrypt_with : r:Group.exp -> pub -> Group.elt -> ciphertext
+(** Encryption with explicit randomness (used by proofs and tests). *)
+
+val decrypt : priv -> ciphertext -> Group.elt
+
+val rerandomize : Drbg.t -> pub -> ciphertext -> ciphertext
+(** Fresh randomness; plaintext unchanged, ciphertext unlinkable. *)
+
+val mul : ciphertext -> ciphertext -> ciphertext
+(** Homomorphic: Enc(m1) * Enc(m2) = Enc(m1 * m2). *)
+
+val pow : ciphertext -> Group.exp -> ciphertext
+(** Enc(m)^k = Enc(m^k). Raising to a random nonzero exponent maps
+    "identity" to "identity" and anything else to a random non-identity
+    element — PSC's bit re-randomization. *)
+
+val partial_decrypt : priv -> ciphertext -> Group.elt
+(** One party's decryption share c1^x. *)
+
+val combine_partial : ciphertext -> Group.elt list -> Group.elt
+(** Remove all parties' shares from c2, recovering the plaintext. *)
+
+val is_identity_plaintext : Group.elt -> bool
+
+val one : Group.elt
+(** Plaintext encoding of bit 0 (group identity). *)
+
+val marker : Group.elt
+(** Canonical non-identity plaintext encoding bit 1 before blinding. *)
+
+val ciphertext_to_string : ciphertext -> string
+(** Canonical encoding for transcript hashing. *)

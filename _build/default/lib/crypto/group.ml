@@ -1,0 +1,96 @@
+(* Safe-prime Schnorr group found deterministically (largest safe prime
+   below 2^31); see DESIGN.md for why a simulation-scale group is used. *)
+
+type elt = int
+type exp = int
+
+let p = 2147483579
+let q = 1073741789 (* (p - 1) / 2, prime *)
+
+(* Internal modular exponentiation with an arbitrary non-negative
+   exponent (inverses need exponent p - 2, which is not reduced mod q). *)
+let powmod b e m =
+  let rec go b e acc =
+    if e = 0 then acc
+    else
+      go (b * b mod m) (e lsr 1) (if e land 1 = 1 then acc * b mod m else acc)
+  in
+  go (b mod m) e 1
+
+(* Startup self-check: p and q prime (deterministic Miller–Rabin bases
+   valid for 64-bit inputs), g generates the order-q subgroup. *)
+let () =
+  let is_sprp n a =
+    if n mod a = 0 then n = a
+    else begin
+      let d = ref (n - 1) and r = ref 0 in
+      while !d land 1 = 0 do
+        d := !d lsr 1;
+        incr r
+      done;
+      let x = powmod a !d n in
+      if x = 1 || x = n - 1 then true
+      else begin
+        let x = ref x and ok = ref false in
+        for _ = 1 to !r - 1 do
+          x := !x * !x mod n;
+          if !x = n - 1 then ok := true
+        done;
+        !ok
+      end
+    end
+  in
+  let is_prime n = List.for_all (is_sprp n) [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
+  assert (p = (2 * q) + 1);
+  assert (is_prime p);
+  assert (is_prime q)
+
+let g = 4 (* 2^2: a quadratic residue, hence a generator of the order-q subgroup *)
+let one = 1
+let zero_exp = 0
+let one_exp = 1
+
+let is_member x = x >= 1 && x < p && powmod x q p = 1
+
+let elt_of_int x =
+  if not (is_member x) then invalid_arg "Group.elt_of_int: not a subgroup element";
+  x
+
+let exp_of_int x =
+  let r = x mod q in
+  if r < 0 then r + q else r
+
+let elt_to_int x = x
+let exp_to_int x = x
+let mul a b = a * b mod p
+let inv a = powmod a (p - 2) p
+let div a b = mul a (inv b)
+let pow b e = powmod b e p
+let pow_g e = powmod g e p
+let exp_add a b = (a + b) mod q
+let exp_sub a b = (a - b + q) mod q
+let exp_mul a b = a * b mod q
+let exp_neg a = if a = 0 then 0 else q - a
+let exp_inv a =
+  if a = 0 then invalid_arg "Group.exp_inv: zero exponent";
+  powmod a (q - 2) q
+
+let random_exp drbg = Drbg.uniform drbg q
+let random_elt drbg = pow_g (random_exp drbg)
+
+let hash_to_exp s =
+  let d = Sha256.digest s in
+  let v = ref 0 in
+  (* 60 bits of the digest, then reduce; bias is q / 2^60 < 2^-29. *)
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  (!v land ((1 lsl 60) - 1)) mod q
+
+let hash_to_elt s =
+  let e = hash_to_exp ("elt|" ^ s) in
+  (* g^e is uniform in the subgroup as e ranges over Z_q. *)
+  pow_g (if e = 0 then 1 else e)
+
+let elt_to_string x =
+  String.init 4 (fun i -> Char.chr ((x lsr (8 * (3 - i))) land 0xFF))

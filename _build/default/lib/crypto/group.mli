@@ -1,0 +1,68 @@
+(** A Schnorr group: the order-q subgroup of Z_p^* for a safe prime
+    p = 2q + 1.
+
+    The deployed PrivCount/PSC use 2048-bit moduli; this simulation group
+    uses a 31-bit safe prime so that all arithmetic fits in native OCaml
+    ints (products < 2^62). The protocol logic layered on top is
+    unchanged; only the parameter size is simulation-scale, and this is
+    documented in DESIGN.md. *)
+
+type elt = private int
+(** A subgroup element (quadratic residue mod p). *)
+
+type exp = private int
+(** An exponent mod q. *)
+
+val p : int
+(** Safe prime modulus, 2147483579. *)
+
+val q : int
+(** Subgroup order (p - 1) / 2, prime. *)
+
+val g : elt
+(** Fixed generator of the order-q subgroup. *)
+
+val one : elt
+val zero_exp : exp
+val one_exp : exp
+
+val elt_of_int : int -> elt
+(** Checked injection: raises [Invalid_argument] unless the value is in
+    the subgroup. *)
+
+val exp_of_int : int -> exp
+(** Reduces mod q (accepts any int, including negatives). *)
+
+val elt_to_int : elt -> int
+val exp_to_int : exp -> int
+
+val mul : elt -> elt -> elt
+val inv : elt -> elt
+val div : elt -> elt -> elt
+val pow : elt -> exp -> elt
+val pow_g : exp -> elt
+(** [pow_g x] = g^x. *)
+
+val exp_add : exp -> exp -> exp
+val exp_sub : exp -> exp -> exp
+val exp_mul : exp -> exp -> exp
+val exp_neg : exp -> exp
+val exp_inv : exp -> exp
+(** Multiplicative inverse mod q (q is prime). *)
+
+val is_member : int -> bool
+(** Membership test for the order-q subgroup. *)
+
+val random_exp : Drbg.t -> exp
+(** Uniform exponent in [0, q). *)
+
+val random_elt : Drbg.t -> elt
+
+val hash_to_exp : string -> exp
+(** Fiat–Shamir: map a transcript string to a challenge exponent. *)
+
+val hash_to_elt : string -> elt
+(** Hash to a subgroup element (square of a hash-derived residue). *)
+
+val elt_to_string : elt -> string
+(** Canonical byte encoding, for transcript hashing. *)

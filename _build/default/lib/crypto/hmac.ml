@@ -1,0 +1,13 @@
+let block_size = 64
+
+let sha256 ~key msg =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad fill =
+    Bytes.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor fill))
+  in
+  let ipad = Bytes.to_string (pad 0x36) and opad = Bytes.to_string (pad 0x5c) in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let hex ~key msg = Sha256.to_hex (sha256 ~key msg)

@@ -1,0 +1,6 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte raw MAC. *)
+
+val hex : key:string -> string -> string

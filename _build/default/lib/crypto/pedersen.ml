@@ -1,0 +1,13 @@
+type commitment = Group.elt
+
+let h = Group.hash_to_elt "pedersen-base-h"
+
+let commit ~value ~blind = Group.mul (Group.pow_g value) (Group.pow h blind)
+
+let commit_random drbg value =
+  let blind = Group.random_exp drbg in
+  (commit ~value ~blind, blind)
+
+let verify c ~value ~blind = Group.elt_to_int c = Group.elt_to_int (commit ~value ~blind)
+
+let add = Group.mul

@@ -1,0 +1,20 @@
+(** Pedersen commitments over {!Group}: computationally binding,
+    perfectly hiding. Used by the shuffle argument to commit to
+    permutations. The second base [h] is derived by hashing so that its
+    discrete log w.r.t. [g] is unknown to every party. *)
+
+type commitment = Group.elt
+
+val h : Group.elt
+(** Independent base (nothing-up-my-sleeve). *)
+
+val commit : value:Group.exp -> blind:Group.exp -> commitment
+(** g^value * h^blind. *)
+
+val commit_random : Drbg.t -> Group.exp -> commitment * Group.exp
+(** Commit with fresh blinding; returns (commitment, blinding). *)
+
+val verify : commitment -> value:Group.exp -> blind:Group.exp -> bool
+
+val add : commitment -> commitment -> commitment
+(** Homomorphic: commit(a,r) + commit(b,s) = commit(a+b, r+s). *)

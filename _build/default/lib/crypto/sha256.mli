@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch: the host container has
+    no OCaml crypto packages. Used for Fiat–Shamir challenges, item
+    hashing in PSC, and HMAC-DRBG. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte raw digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte raw digest. *)
+
+val hex : string -> string
+(** One-shot digest as a lowercase hex string. *)
+
+val to_hex : string -> string
+(** Hex-encode arbitrary bytes. *)

@@ -1,0 +1,131 @@
+(* Cut-and-choose shuffle argument.
+
+   Notation: permuting with [perm] places input element [perm.(i)] at
+   output position [i]. The real shuffle is
+     ys.(i) = E(1; r.(i)) * xs.(pi.(i))
+   and each shadow is
+     zs.(i) = E(1; s.(i)) * xs.(sigma.(i)).
+   Opening the shadow->output link uses tau = sigma^-1 . pi, so that
+     ys.(i) = E(1; r.(i) - s.(tau.(i))) * zs.(tau.(i)). *)
+
+type opening =
+  | Input_link of int array * Group.exp array   (* sigma, s: xs -> zs *)
+  | Output_link of int array * Group.exp array  (* tau, t: zs -> ys *)
+
+type round = { shadow : Elgamal.ciphertext array; opening : opening }
+
+type proof = { rounds : round list }
+
+let default_rounds = 16
+
+let apply_link pk ~from ~perm ~rand =
+  Array.init (Array.length from) (fun i ->
+      Elgamal.mul (Elgamal.encrypt_with ~r:rand.(i) pk Elgamal.one) from.(perm.(i)))
+
+let invert_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  inv
+
+let random_perm drbg n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Drbg.uniform drbg (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let transcript_digest pk ~input ~output ~shadows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Group.elt_to_string pk);
+  let add cts = Array.iter (fun ct -> Buffer.add_string buf (Elgamal.ciphertext_to_string ct)) cts in
+  add input;
+  add output;
+  List.iter add shadows;
+  Sha256.digest (Buffer.contents buf)
+
+let challenge_bit digest j = (Char.code digest.[j / 8 mod 32] lsr (j mod 8)) land 1 = 1
+
+let shuffle ?(rounds = default_rounds) drbg pk input =
+  let n = Array.length input in
+  let pi = random_perm drbg n in
+  let r = Array.init n (fun _ -> Group.random_exp drbg) in
+  let output = apply_link pk ~from:input ~perm:pi ~rand:r in
+  let shadows =
+    List.init rounds (fun _ ->
+        let sigma = random_perm drbg n in
+        let s = Array.init n (fun _ -> Group.random_exp drbg) in
+        let z = apply_link pk ~from:input ~perm:sigma ~rand:s in
+        (sigma, s, z))
+  in
+  let digest = transcript_digest pk ~input ~output ~shadows:(List.map (fun (_, _, z) -> z) shadows) in
+  let sigma_inv_tau sigma =
+    (* tau = sigma^-1 . pi: tau.(i) = sigma_inv.(pi.(i)) *)
+    let sigma_inv = invert_perm sigma in
+    Array.init n (fun i -> sigma_inv.(pi.(i)))
+  in
+  let rounds =
+    List.mapi
+      (fun j (sigma, s, z) ->
+        let opening =
+          if challenge_bit digest j then
+            let tau = sigma_inv_tau sigma in
+            let t = Array.init n (fun i -> Group.exp_sub r.(i) s.(tau.(i))) in
+            Output_link (tau, t)
+          else Input_link (sigma, s)
+        in
+        { shadow = z; opening })
+      shadows
+  in
+  (output, { rounds })
+
+let shuffle_unproven drbg pk input =
+  let n = Array.length input in
+  let pi = random_perm drbg n in
+  let r = Array.init n (fun _ -> Group.random_exp drbg) in
+  apply_link pk ~from:input ~perm:pi ~rand:r
+
+let same_ct a b =
+  Group.elt_to_int a.Elgamal.c1 = Group.elt_to_int b.Elgamal.c1
+  && Group.elt_to_int a.Elgamal.c2 = Group.elt_to_int b.Elgamal.c2
+
+let is_perm perm n =
+  Array.length perm = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let verify pk ~input ~output { rounds } =
+  let n = Array.length input in
+  Array.length output = n
+  && rounds <> []
+  &&
+  let digest =
+    transcript_digest pk ~input ~output ~shadows:(List.map (fun r -> r.shadow) rounds)
+  in
+  List.for_all2
+    (fun j { shadow; opening } ->
+      Array.length shadow = n
+      &&
+      match opening with
+      | Input_link (sigma, s) ->
+        (not (challenge_bit digest j))
+        && is_perm sigma n && Array.length s = n
+        && Array.for_all2 same_ct (apply_link pk ~from:input ~perm:sigma ~rand:s) shadow
+      | Output_link (tau, t) ->
+        challenge_bit digest j
+        && is_perm tau n && Array.length t = n
+        && Array.for_all2 same_ct (apply_link pk ~from:shadow ~perm:tau ~rand:t) output)
+    (List.init (List.length rounds) Fun.id)
+    rounds
+
+let proof_rounds { rounds } = List.length rounds

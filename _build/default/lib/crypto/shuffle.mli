@@ -1,0 +1,32 @@
+(** Verifiable rerandomizing shuffle.
+
+    Each PSC computation party permutes and rerandomizes the vector of
+    encrypted counter bits so that no party can link table positions
+    across the pipeline. The shuffle is proved correct with a
+    cut-and-choose argument: the prover publishes [rounds] shadow
+    shuffles; a Fiat–Shamir coin per shadow demands opening either the
+    input→shadow link or the shadow→output link. A cheating prover
+    survives with probability 2^-rounds. (Deployed PSC uses a Neff/
+    Bayer–Groth argument; the cut-and-choose variant has the same
+    interface and security goal at simulation scale.) *)
+
+type proof
+
+val default_rounds : int
+
+val shuffle :
+  ?rounds:int -> Drbg.t -> Elgamal.pub -> Elgamal.ciphertext array ->
+  Elgamal.ciphertext array * proof
+(** [shuffle drbg pk cts] returns the permuted/rerandomized vector and a
+    proof of correctness. *)
+
+val shuffle_unproven :
+  Drbg.t -> Elgamal.pub -> Elgamal.ciphertext array -> Elgamal.ciphertext array
+(** Permute and rerandomize without producing a proof — the fast path
+    for large throughput runs where verification is disabled. *)
+
+val verify :
+  Elgamal.pub -> input:Elgamal.ciphertext array ->
+  output:Elgamal.ciphertext array -> proof -> bool
+
+val proof_rounds : proof -> int

@@ -1,0 +1,1 @@
+lib/dp/action_bounds.ml: List

@@ -1,0 +1,1 @@
+lib/dp/budget.mli: Mechanism

@@ -1,0 +1,1 @@
+lib/dp/composition.ml: Mechanism

@@ -1,0 +1,1 @@
+lib/dp/mechanism.ml: Float Prng

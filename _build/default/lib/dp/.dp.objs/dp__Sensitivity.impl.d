@@ -1,0 +1,1 @@
+lib/dp/sensitivity.ml: Action_bounds Printf

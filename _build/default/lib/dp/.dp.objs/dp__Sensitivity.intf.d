@@ -1,0 +1,1 @@
+lib/dp/sensitivity.mli: Action_bounds

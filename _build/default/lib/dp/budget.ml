@@ -1,0 +1,45 @@
+(* Privacy budget allocation across the counters of one measurement
+   round. PrivCount splits ε and δ across simultaneously-published
+   statistics so that the round as a whole is (ε,δ)-DP by basic
+   composition. The paper additionally never runs PrivCount and PSC in
+   parallel and spaces distinct statistics by >= 24h (see Schedule). *)
+
+type allocation = { per_counter : Mechanism.params; counters : int }
+
+let split params ~counters =
+  if counters <= 0 then invalid_arg "Budget.split: need at least one counter";
+  let open Mechanism in
+  {
+    per_counter =
+      {
+        epsilon = params.epsilon /. float_of_int counters;
+        delta = params.delta /. float_of_int counters;
+      };
+    counters;
+  }
+
+(* Basic sequential composition: total privacy cost of a list of
+   (ε_i, δ_i) publications. *)
+let compose params_list =
+  List.fold_left
+    (fun acc p ->
+      Mechanism.
+        { epsilon = acc.epsilon +. p.epsilon; delta = acc.delta +. p.delta })
+    Mechanism.{ epsilon = 0.0; delta = 0.0 }
+    params_list
+
+(* Weighted split: counters with larger expected values can absorb more
+   noise, so they get less budget; weights are relative ε shares. *)
+let split_weighted params ~weights =
+  if weights = [] then invalid_arg "Budget.split_weighted: empty weights";
+  if List.exists (fun w -> w <= 0.0) weights then
+    invalid_arg "Budget.split_weighted: weights must be positive";
+  let total = List.fold_left ( +. ) 0.0 weights in
+  List.map
+    (fun w ->
+      Mechanism.
+        {
+          epsilon = params.epsilon *. w /. total;
+          delta = params.delta *. w /. total;
+        })
+    weights

@@ -1,0 +1,44 @@
+let basic (p : Mechanism.params) ~rounds =
+  if rounds < 0 then invalid_arg "Composition.basic: negative rounds";
+  Mechanism.
+    {
+      epsilon = float_of_int rounds *. p.epsilon;
+      delta = float_of_int rounds *. p.delta;
+    }
+
+let advanced (p : Mechanism.params) ~rounds ~delta_slack =
+  if rounds < 0 then invalid_arg "Composition.advanced: negative rounds";
+  if delta_slack <= 0.0 || delta_slack >= 1.0 then
+    invalid_arg "Composition.advanced: delta_slack must be in (0,1)";
+  let k = float_of_int rounds in
+  let open Mechanism in
+  let epsilon =
+    (p.epsilon *. sqrt (2.0 *. k *. log (1.0 /. delta_slack)))
+    +. (k *. p.epsilon *. (exp p.epsilon -. 1.0))
+  in
+  { epsilon; delta = (k *. p.delta) +. delta_slack }
+
+let best p ~rounds ~delta_slack =
+  let b = basic p ~rounds in
+  let a = advanced p ~rounds ~delta_slack in
+  if a.Mechanism.epsilon < b.Mechanism.epsilon then a else b
+
+let rounds_within_budget ~per_round ~budget ~delta_slack =
+  let fits k =
+    let total = best per_round ~rounds:k ~delta_slack in
+    total.Mechanism.epsilon <= budget.Mechanism.epsilon
+    && total.Mechanism.delta <= budget.Mechanism.delta
+  in
+  (* epsilon grows monotonically in k for both bounds *)
+  let rec grow k = if fits (2 * k) then grow (2 * k) else k in
+  if not (fits 1) then 0
+  else begin
+    let lo = grow 1 in
+    let rec bisect lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if fits mid then bisect mid hi else bisect lo mid
+    in
+    bisect lo (2 * lo)
+  end

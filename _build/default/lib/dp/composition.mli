@@ -1,0 +1,20 @@
+(** Composition theorems for (ε, δ)-DP beyond the basic sum used by
+    {!Budget}: the advanced composition bound lets a long measurement
+    campaign (the paper ran for months) spend substantially less total
+    ε than basic composition suggests. *)
+
+val basic : Mechanism.params -> rounds:int -> Mechanism.params
+(** k-fold basic composition: (kε, kδ). *)
+
+val advanced : Mechanism.params -> rounds:int -> delta_slack:float -> Mechanism.params
+(** Dwork–Rothblum–Vadhan advanced composition: k mechanisms that are
+    each (ε, δ)-DP are together
+    (ε·sqrt(2k ln(1/δ')) + kε(e^ε − 1), kδ + δ')-DP. *)
+
+val best : Mechanism.params -> rounds:int -> delta_slack:float -> Mechanism.params
+(** The smaller of basic and advanced for the round count at hand
+    (advanced only wins for enough rounds). *)
+
+val rounds_within_budget :
+  per_round:Mechanism.params -> budget:Mechanism.params -> delta_slack:float -> int
+(** How many measurement rounds fit a campaign budget under {!best}. *)

@@ -1,0 +1,27 @@
+(* Per-statistic sensitivity: how much one protected user's 24 hours of
+   activity (bounded by the action bounds) can change each counter.
+
+   For a plain counter over an action, the sensitivity is the action
+   bound itself. For a histogram query where a single observation falls
+   in exactly one bin, a user's activity can move up to [bound] units
+   from one bin to another, so the L2 view over the bin vector is
+   bounded by sqrt(2) * bound; PrivCount treats the bins as independent
+   counters and uses [bound] per bin (the paper follows PrivCount). *)
+
+type statistic =
+  | Count of Action_bounds.action           (* one counter over an action *)
+  | Histogram of Action_bounds.action * int (* bins over an action *)
+  | Unique of Action_bounds.action          (* PSC set-union cardinality *)
+
+let of_statistic = function
+  | Count action -> Action_bounds.bound_value action
+  | Histogram (action, _bins) -> Action_bounds.bound_value action
+  | Unique action ->
+    (* A user contributes at most [bound] distinct items to the union
+       (e.g. at most 4 new IPs, at most 20 domains). *)
+    Action_bounds.bound_value action
+
+let describe = function
+  | Count a -> Printf.sprintf "count(%s)" (Action_bounds.action_name a)
+  | Histogram (a, bins) -> Printf.sprintf "histogram(%s, %d bins)" (Action_bounds.action_name a) bins
+  | Unique a -> Printf.sprintf "unique(%s)" (Action_bounds.action_name a)

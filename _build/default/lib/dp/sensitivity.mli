@@ -1,0 +1,10 @@
+(** Per-statistic sensitivity: how much one protected user-day (bounded
+    by the action bounds) can move each published quantity. *)
+
+type statistic =
+  | Count of Action_bounds.action           (** one counter over an action *)
+  | Histogram of Action_bounds.action * int (** bins over an action *)
+  | Unique of Action_bounds.action          (** PSC set-union cardinality *)
+
+val of_statistic : statistic -> float
+val describe : statistic -> string

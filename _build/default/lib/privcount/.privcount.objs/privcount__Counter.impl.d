@@ -1,0 +1,1 @@
+lib/privcount/counter.ml: List

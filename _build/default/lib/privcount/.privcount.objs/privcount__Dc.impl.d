@@ -1,0 +1,1 @@
+lib/privcount/dc.ml: Counter Crypto Dp Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/privcount/dc.mli: Counter Prng

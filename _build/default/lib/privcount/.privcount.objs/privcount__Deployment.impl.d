@@ -1,0 +1,1 @@
+lib/privcount/deployment.ml: Array Counter Crypto Dc Dp List Printf Prng Sk Ts

@@ -1,0 +1,1 @@
+lib/privcount/deployment.mli: Counter Dp Ts

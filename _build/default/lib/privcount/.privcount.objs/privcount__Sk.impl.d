@@ -1,0 +1,1 @@
+lib/privcount/sk.ml: Crypto Hashtbl List

@@ -1,0 +1,1 @@
+lib/privcount/ts.ml: Counter Crypto List Printf Stats

@@ -1,0 +1,1 @@
+lib/privcount/ts.mli: Counter Stats

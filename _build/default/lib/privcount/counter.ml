@@ -1,0 +1,21 @@
+(* Counter specifications. A measurement round publishes a set of
+   counters; each counter's Gaussian noise is calibrated from its
+   sensitivity (how much one protected user-day can move it, via the
+   action bounds) and its share of the round's privacy budget. *)
+
+type spec = {
+  name : string;
+  sensitivity : float;
+}
+
+let spec ~name ~sensitivity =
+  if sensitivity < 0.0 then invalid_arg "Counter.spec: negative sensitivity";
+  { name; sensitivity }
+
+(* A histogram is a family of counters "<name>:<bin>"; each bin is an
+   independent counter as in PrivCount (§3.1: set-membership counting
+   with PrivCount histograms). *)
+let histogram_specs ~name ~sensitivity bins =
+  List.map (fun bin -> spec ~name:(name ^ ":" ^ bin) ~sensitivity) bins
+
+let bin_name ~name ~bin = name ^ ":" ^ bin

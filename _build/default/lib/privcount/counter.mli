@@ -1,0 +1,16 @@
+(** Counter specifications for a PrivCount round. *)
+
+type spec = {
+  name : string;
+  sensitivity : float;
+      (** how much one protected user-day can move this counter, from
+          the action bounds *)
+}
+
+val spec : name:string -> sensitivity:float -> spec
+
+val histogram_specs : name:string -> sensitivity:float -> string list -> spec list
+(** One counter "<name>:<bin>" per bin — PrivCount's set-membership
+    histograms (paper §3.1). *)
+
+val bin_name : name:string -> bin:string -> string

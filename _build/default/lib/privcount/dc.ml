@@ -1,0 +1,45 @@
+(* A PrivCount data collector: one per measured relay. Counters live
+   blinded in Z_M from the moment of initialization — a compromised DC
+   reveals only uniformly random residues. The DC also adds its share of
+   the round's Gaussian noise at initialization, so raw event counts
+   never exist in memory. *)
+
+type t = {
+  id : int;
+  counters : (string, int ref) Hashtbl.t;   (* blinded residues mod M *)
+  mutable finalized : bool;
+}
+
+let modulus = Crypto.Secret_sharing.modulus
+
+(* [blinding_shares.(k)] are this DC's shares towards share keeper k,
+   one per counter; the matching SK derives the identical values from
+   the pairwise DRBG seed (standing in for PrivCount's encrypted share
+   exchange). *)
+let create ~id ~specs ~noise_sigma_per_dc ~blinding ~noise_rng =
+  let counters = Hashtbl.create (List.length specs) in
+  List.iter
+    (fun spec ->
+      let noise =
+        int_of_float
+          (Float.round
+             (Dp.Mechanism.gaussian_noise noise_rng ~sigma:(noise_sigma_per_dc spec)))
+      in
+      let shares = blinding ~counter:spec.Counter.name in
+      let v = Crypto.Secret_sharing.blind noise shares in
+      Hashtbl.replace counters spec.Counter.name (ref v))
+    specs;
+  { id; counters; finalized = false }
+
+let increment t ~name ~by =
+  if t.finalized then invalid_arg "Dc.increment: round already finalized";
+  match Hashtbl.find_opt t.counters name with
+  | None -> () (* events for counters not in this round's config are dropped *)
+  | Some r -> r := (((!r + by) mod modulus) + modulus) mod modulus
+
+(* End of round: the DC reports its blinded residues and wipes state. *)
+let report t =
+  t.finalized <- true;
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+
+let id t = t.id

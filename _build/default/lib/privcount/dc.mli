@@ -1,0 +1,20 @@
+(** A PrivCount data collector (one per measured relay). Counters are
+    blinded in Z_M from initialization and carry the DC's share of the
+    round's Gaussian noise, so raw event counts never exist in memory —
+    a compromised DC reveals only uniform residues. *)
+
+type t
+
+val create :
+  id:int -> specs:Counter.spec list -> noise_sigma_per_dc:(Counter.spec -> float) ->
+  blinding:(counter:string -> int list) -> noise_rng:Prng.Rng.t -> t
+(** [blinding ~counter] returns this DC's per-share-keeper blinding
+    values for one counter (the SKs derive the same values). *)
+
+val increment : t -> name:string -> by:int -> unit
+(** Events for counters outside the round's configuration are dropped. *)
+
+val report : t -> (string * int) list
+(** End of round: blinded residues; the DC is finalized. *)
+
+val id : t -> int

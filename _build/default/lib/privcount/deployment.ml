@@ -1,0 +1,101 @@
+type config = {
+  specs : Counter.spec list;
+  params : Dp.Mechanism.params;
+  num_sks : int;
+  split_budget : bool;
+}
+
+let config ?(num_sks = 3) ?(split_budget = true) ?(params = Dp.Mechanism.paper_params) specs =
+  if specs = [] then invalid_arg "Deployment.config: no counters";
+  if num_sks < 1 then invalid_arg "Deployment.config: need at least one share keeper";
+  { specs; params; num_sks; split_budget }
+
+type t = {
+  cfg : config;
+  dcs : Dc.t array;
+  sks : Sk.t array;
+  mutable tallied : bool;
+}
+
+let per_counter_params cfg =
+  if cfg.split_budget then (Dp.Budget.split cfg.params ~counters:(List.length cfg.specs)).Dp.Budget.per_counter
+  else cfg.params
+
+let total_sigma cfg spec =
+  Dp.Mechanism.gaussian_sigma (per_counter_params cfg) ~sensitivity:spec.Counter.sensitivity
+
+let create ?noise_weights cfg ~num_dcs ~seed =
+  if num_dcs < 1 then invalid_arg "Deployment.create: need at least one DC";
+  let sks = Array.init cfg.num_sks (fun id -> Sk.create ~id) in
+  (* Pairwise blinding: DC d and SK k derive identical per-counter
+     shares from a shared seed (standing in for PrivCount's encrypted
+     share exchange over TLS). *)
+  let share_drbg ~dc ~sk =
+    Crypto.Drbg.create (Printf.sprintf "privcount-blind|seed=%d|dc=%d|sk=%d" seed dc sk)
+  in
+  let noise_rng = Prng.Rng.create (seed * 7919) in
+  (* Noise is split across DCs so the per-DC variances sum to the total:
+     by default equally; with [noise_weights], proportionally to each
+     relay's observation weight (PrivCount's allocation — a relay that
+     sees more of the network carries more of the noise, so losing a
+     small DC costs little privacy). *)
+  let variance_share =
+    match noise_weights with
+    | None -> Array.make num_dcs (1.0 /. float_of_int num_dcs)
+    | Some weights ->
+      if Array.length weights <> num_dcs then
+        invalid_arg "Deployment.create: noise_weights length mismatch";
+      if Array.exists (fun w -> w <= 0.0) weights then
+        invalid_arg "Deployment.create: noise_weights must be positive";
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      Array.map (fun w -> w /. total) weights
+  in
+  let sigma_per_dc_at dc spec = total_sigma cfg spec *. sqrt variance_share.(dc) in
+  let dcs =
+    Array.init num_dcs (fun id ->
+        let drbgs = Array.init cfg.num_sks (fun sk -> share_drbg ~dc:id ~sk) in
+        let blinding ~counter =
+          Array.to_list
+            (Array.mapi
+               (fun sk drbg ->
+                 let share = Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus in
+                 Sk.absorb sks.(sk) ~dc:id ~counter share;
+                 share)
+               drbgs)
+        in
+        Dc.create ~id ~specs:cfg.specs ~noise_sigma_per_dc:(sigma_per_dc_at id) ~blinding
+          ~noise_rng)
+  in
+  { cfg; dcs; sks; tallied = false }
+
+let num_dcs t = Array.length t.dcs
+
+let increment t ~dc ~name ~by =
+  if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.increment: bad dc";
+  Dc.increment t.dcs.(dc) ~name ~by
+
+let handler t ~dc mapping =
+  fun ev -> List.iter (fun (name, by) -> increment t ~dc ~name ~by) (mapping ev)
+
+let sigma_for t spec = total_sigma t.cfg spec
+
+let tally ?(dropped_dcs = []) t =
+  if t.tallied then invalid_arg "Deployment.tally: round already tallied";
+  List.iter
+    (fun dc ->
+      if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.tally: bad dropped dc")
+    dropped_dcs;
+  t.tallied <- true;
+  (* Dropout recovery: a crashed relay never reports, and the SKs
+     exclude exactly its blinding shares so the rest still cancels. Its
+     noise contribution is lost with it — the total noise is slightly
+     under target, which PrivCount accepts for small dropout counts. *)
+  let dc_reports =
+    Array.to_list t.dcs
+    |> List.filter (fun dc -> not (List.mem (Dc.id dc) dropped_dcs))
+    |> List.map Dc.report
+  in
+  let sk_reports =
+    Array.to_list (Array.map (fun sk -> Sk.report ~exclude_dcs:dropped_dcs sk) t.sks)
+  in
+  Ts.tally ~specs:t.cfg.specs ~sigma_of:(total_sigma t.cfg) ~dc_reports ~sk_reports

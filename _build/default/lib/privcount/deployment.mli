@@ -1,0 +1,42 @@
+(** A full PrivCount deployment: 1 tally server, [num_sks] share
+    keepers, one data collector per observed relay. Orchestrates the
+    blinding exchange, the collection period, and the final tally
+    (paper §2.3, §3.1). *)
+
+type config = {
+  specs : Counter.spec list;
+  params : Dp.Mechanism.params; (** the round's total privacy budget *)
+  num_sks : int;
+  split_budget : bool;
+      (** divide ε, δ evenly across counters (PrivCount default);
+          disable for single-counter rounds *)
+}
+
+val config :
+  ?num_sks:int -> ?split_budget:bool -> ?params:Dp.Mechanism.params ->
+  Counter.spec list -> config
+
+type t
+
+val create : ?noise_weights:float array -> config -> num_dcs:int -> seed:int -> t
+(** [noise_weights] splits the noise variance across DCs proportionally
+    to each relay's observation weight (PrivCount's allocation); equal
+    split by default. *)
+
+val num_dcs : t -> int
+
+val handler : t -> dc:int -> ('ev -> (string * int) list) -> 'ev -> unit
+(** Build the event sink for DC [dc]: maps an observation event to
+    counter increments. *)
+
+val increment : t -> dc:int -> name:string -> by:int -> unit
+
+val sigma_for : t -> Counter.spec -> float
+(** Total noise stddev that will be attached to this counter. *)
+
+val tally : ?dropped_dcs:int list -> t -> Ts.result list
+(** Close the round: every SK releases its share sums, the TS unblinds
+    and publishes noisy aggregates. Callable once. [dropped_dcs] lists
+    relays that crashed mid-round: their reports are discarded and the
+    SKs exclude exactly their blinding shares, so the rest of the round
+    still tallies (PrivCount's dropout recovery). *)

@@ -1,0 +1,37 @@
+(* A PrivCount share keeper: holds the blinding shares it exchanged
+   with each DC, per counter. If at least one SK is honest (withholds
+   its sums until the round legitimately closes), the tally server
+   learns nothing but the final noisy aggregate.
+
+   Shares are kept per DC so that when a relay crashes mid-round the
+   SKs can exclude exactly that DC's shares and the rest of the round
+   still tallies — PrivCount's dropout recovery. *)
+
+type t = {
+  id : int;
+  shares : (int * string, int ref) Hashtbl.t;  (* (dc, counter) -> share sum *)
+}
+
+let modulus = Crypto.Secret_sharing.modulus
+
+let create ~id = { id; shares = Hashtbl.create 256 }
+
+let absorb t ~dc ~counter share =
+  let key = (dc, counter) in
+  match Hashtbl.find_opt t.shares key with
+  | Some r -> r := (!r + share) mod modulus
+  | None -> Hashtbl.replace t.shares key (ref (share mod modulus))
+
+(* Per-counter sums over the DCs that completed the round. *)
+let report ?(exclude_dcs = []) t =
+  let sums = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (dc, counter) r ->
+      if not (List.mem dc exclude_dcs) then
+        match Hashtbl.find_opt sums counter with
+        | Some acc -> acc := (!acc + !r) mod modulus
+        | None -> Hashtbl.replace sums counter (ref (!r mod modulus)))
+    t.shares;
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) sums []
+
+let id t = t.id

@@ -1,0 +1,45 @@
+(* The PrivCount tally server: distributes the round configuration,
+   collects the DC residues and SK share-sums, and unblinds the
+   aggregate. It learns only sum(counts) + gaussian noise. *)
+
+type result = {
+  name : string;
+  value : float;   (* noisy aggregate, can be negative *)
+  sigma : float;   (* total noise stddev, published with the result *)
+  ci : Stats.Ci.t; (* 95% CI around the noisy value *)
+}
+
+let modulus = Crypto.Secret_sharing.modulus
+
+let tally ~specs ~sigma_of ~dc_reports ~sk_reports =
+  List.map
+    (fun spec ->
+      let name = spec.Counter.name in
+      let dc_sum =
+        List.fold_left
+          (fun acc report ->
+            match List.assoc_opt name report with
+            | Some v -> (acc + v) mod modulus
+            | None -> acc)
+          0 dc_reports
+      in
+      let sk_sum =
+        List.fold_left
+          (fun acc report ->
+            match List.assoc_opt name report with
+            | Some v -> (acc + v) mod modulus
+            | None -> acc)
+          0 sk_reports
+      in
+      let raw = ((dc_sum - sk_sum) mod modulus + modulus) mod modulus in
+      let value = float_of_int (Crypto.Secret_sharing.to_signed raw) in
+      let sigma = sigma_of spec in
+      { name; value; sigma; ci = Stats.Ci.normal ~value ~sigma () })
+    specs
+
+let find results name = List.find_opt (fun r -> r.name = name) results
+
+let value_exn results name =
+  match find results name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Ts.value_exn: no counter %S" name)

@@ -1,0 +1,18 @@
+(** The PrivCount tally server: unblinds the aggregate from the DC
+    residues and SK share-sums, and publishes noisy counts with their
+    noise level and confidence interval. *)
+
+type result = {
+  name : string;
+  value : float;   (** noisy aggregate; may legitimately be negative *)
+  sigma : float;
+  ci : Stats.Ci.t;
+}
+
+val tally :
+  specs:Counter.spec list -> sigma_of:(Counter.spec -> float) ->
+  dc_reports:(string * int) list list -> sk_reports:(string * int) list list ->
+  result list
+
+val find : result list -> string -> result option
+val value_exn : result list -> string -> result

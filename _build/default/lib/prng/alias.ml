@@ -1,0 +1,30 @@
+(* Walker's alias method: O(1) sampling from an arbitrary finite discrete
+   distribution after O(n) setup. Used for domain popularity, country and
+   AS mixes, where the simulator draws hundreds of thousands of samples. *)
+
+type t = { prob : float array; alias : int array }
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty distribution";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Alias.create: weights must sum to a positive value";
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 1.0 and alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri (fun i p -> Queue.push i (if p < 1.0 then small else large)) scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    Queue.push l (if scaled.(l) < 1.0 then small else large)
+  done;
+  (* Remaining entries have probability 1 up to float rounding. *)
+  { prob; alias }
+
+let length t = Array.length t.prob
+
+let sample t rng =
+  let i = Rng.below rng (Array.length t.prob) in
+  if Rng.float rng < t.prob.(i) then i else t.alias.(i)

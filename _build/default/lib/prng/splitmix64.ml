@@ -1,0 +1,21 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a fixed-increment Weyl sequence fed
+   through a 64-bit finalizer. We use it both as a cheap standalone generator
+   and to expand a single seed into the state of larger generators. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Expand a seed into [n] well-mixed 64-bit words. *)
+let expand seed n =
+  let t = create seed in
+  Array.init n (fun _ -> next t)

@@ -1,0 +1,1 @@
+lib/psc/cp.mli: Crypto

@@ -1,0 +1,1 @@
+lib/psc/item.mli:

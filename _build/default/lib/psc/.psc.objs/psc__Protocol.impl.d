@@ -1,0 +1,1 @@
+lib/psc/protocol.ml: Array Cp Crypto Dp Hashtbl Item List Printf Stats Table

@@ -1,0 +1,1 @@
+lib/psc/protocol.mli: Dp Stats

@@ -1,0 +1,1 @@
+lib/psc/table.ml: Array Crypto Item List

@@ -1,0 +1,1 @@
+lib/psc/table.mli: Crypto

@@ -1,0 +1,104 @@
+(* A PSC computation party. Each CP holds one share of the joint
+   ElGamal key and, in pipeline order: appends its encrypted binomial
+   noise bits, shuffles and rerandomizes the whole vector (with a
+   verifiable-shuffle proof), raises every ciphertext to a fresh secret
+   nonzero exponent (destroying everything about the plaintext except
+   identity vs non-identity), and finally contributes verifiable partial
+   decryptions. *)
+
+type t = {
+  id : int;
+  priv : Crypto.Elgamal.priv;
+  pub : Crypto.Elgamal.pub;
+  drbg : Crypto.Drbg.t;
+}
+
+let create ~id ~seed =
+  let drbg = Crypto.Drbg.create (Printf.sprintf "psc-cp|%d|%d" seed id) in
+  let priv, pub = Crypto.Elgamal.keygen drbg in
+  { id; priv; pub; drbg }
+
+let public_key t = t.pub
+let id t = t.id
+
+let key_proof t =
+  Crypto.Sigma.schnorr_prove t.drbg ~secret:t.priv ~context:(Printf.sprintf "psc-key|%d" t.id)
+
+let verify_key_proof ~id ~pub proof =
+  Crypto.Sigma.schnorr_verify ~public:pub ~context:(Printf.sprintf "psc-key|%d" id) proof
+
+(* Binomial noise: [flips] fair coins, each encrypted as its own slot.
+   The count of heads adds to the measured cardinality; its mean is
+   publicly subtracted by the estimator. *)
+let noise_slots t ~joint ~flips =
+  Array.init flips (fun _ ->
+      let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
+      Crypto.Elgamal.encrypt t.drbg joint
+        (if bit then Crypto.Elgamal.marker else Crypto.Elgamal.one))
+
+(* Same, with a disjunctive bit-validity proof per slot: without these a
+   malicious CP could inject non-bit plaintexts as "noise" and distort
+   the cardinality while hiding behind noise deniability. *)
+let noise_slots_proven t ~joint ~flips =
+  Array.init flips (fun _ ->
+      let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
+      Crypto.Bit_proof.encrypt_bit_proven t.drbg ~pk:joint bit)
+
+let shuffle t ~joint ~rounds vector =
+  match rounds with
+  | Some rounds -> (
+    let output, proof = Crypto.Shuffle.shuffle ~rounds t.drbg joint vector in
+    (output, Some proof))
+  | None ->
+    (* proof-less fast path for large simulation runs; tests always
+       run with proofs on *)
+    (Crypto.Shuffle.shuffle_unproven t.drbg joint vector, None)
+
+(* Exponent rerandomization: x -> x^k for secret k != 0 per slot.
+   Enc(1) stays Enc(1); anything else becomes an encryption of a random
+   non-identity element, unlinkable to its original value. *)
+let rerandomize_bits t vector =
+  Array.map
+    (fun ct ->
+      let k = 1 + Crypto.Drbg.uniform t.drbg (Crypto.Group.q - 1) in
+      Crypto.Elgamal.pow ct (Crypto.Group.exp_of_int k))
+    vector
+
+type decryption_share = {
+  cp_id : int;
+  shares : Crypto.Group.elt array;
+  proofs : Crypto.Sigma.dleq_proof array option;
+}
+
+let decrypt_shares t ?(prove = true) vector =
+  let shares = Array.map (fun ct -> Crypto.Elgamal.partial_decrypt t.priv ct) vector in
+  let proofs =
+    if prove then
+      Some
+        (Array.map
+           (fun ct ->
+             Crypto.Sigma.dleq_prove t.drbg ~secret:t.priv ~base2:ct.Crypto.Elgamal.c1
+               ~context:"psc-decrypt")
+           vector)
+    else None
+  in
+  { cp_id = t.id; shares; proofs }
+
+let verify_decryption ~pub ~vector { shares; proofs; _ } =
+  match proofs with
+  | None -> false
+  | Some proofs ->
+    Array.length shares = Array.length vector
+    && Array.length proofs = Array.length vector
+    &&
+    let ok = ref true in
+    Array.iteri
+      (fun i proof ->
+        let ct = vector.(i) in
+        if
+          not
+            (Crypto.Sigma.dleq_verify ~public1:pub ~base2:ct.Crypto.Elgamal.c1
+               ~public2:shares.(i) ~context:"psc-decrypt" proof)
+        then ok := false)
+      proofs;
+    !ok

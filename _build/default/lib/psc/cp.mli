@@ -1,0 +1,41 @@
+(** A PSC computation party: holds one share of the joint key; appends
+    encrypted binomial noise, shuffles with a verifiable-shuffle proof,
+    rerandomizes the encrypted bits, and contributes verifiable partial
+    decryptions. *)
+
+type t
+
+val create : id:int -> seed:int -> t
+val public_key : t -> Crypto.Elgamal.pub
+val id : t -> int
+
+val key_proof : t -> Crypto.Sigma.schnorr_proof
+val verify_key_proof : id:int -> pub:Crypto.Elgamal.pub -> Crypto.Sigma.schnorr_proof -> bool
+
+val noise_slots : t -> joint:Crypto.Elgamal.pub -> flips:int -> Crypto.Elgamal.ciphertext array
+(** [flips] fair coins, each encrypted as its own slot. *)
+
+val noise_slots_proven :
+  t -> joint:Crypto.Elgamal.pub -> flips:int ->
+  (Crypto.Elgamal.ciphertext * Crypto.Bit_proof.t) array
+(** Noise slots with per-slot disjunctive bit-validity proofs. *)
+
+val shuffle :
+  t -> joint:Crypto.Elgamal.pub -> rounds:int option -> Crypto.Elgamal.ciphertext array ->
+  Crypto.Elgamal.ciphertext array * Crypto.Shuffle.proof option
+(** [rounds = None] is the proof-less fast path for throughput runs. *)
+
+val rerandomize_bits : t -> Crypto.Elgamal.ciphertext array -> Crypto.Elgamal.ciphertext array
+(** x -> x^k for secret nonzero k per slot: bit 0 stays bit 0, anything
+    else becomes a random non-identity element. *)
+
+type decryption_share = {
+  cp_id : int;
+  shares : Crypto.Group.elt array;
+  proofs : Crypto.Sigma.dleq_proof array option;
+}
+
+val decrypt_shares : t -> ?prove:bool -> Crypto.Elgamal.ciphertext array -> decryption_share
+
+val verify_decryption :
+  pub:Crypto.Elgamal.pub -> vector:Crypto.Elgamal.ciphertext array -> decryption_share -> bool

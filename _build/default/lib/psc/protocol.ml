@@ -1,0 +1,197 @@
+type tamper = { tampered_cp : int; action : [ `Shuffle_swap | `Noise_nonbit ] }
+
+type config = {
+  table_size : int;
+  num_cps : int;
+  noise_flips_per_cp : int;
+  proof_rounds : int option;
+  verify : bool;
+  confidence : float;
+  tamper : tamper option;
+      (* fault injection for tests: make one CP misbehave and check the
+         proofs identify it *)
+}
+
+let config ?(num_cps = 3) ?(noise_flips_per_cp = 64) ?(proof_rounds = Some 8) ?(verify = true)
+    ?(confidence = 0.95) ?tamper ~table_size () =
+  if table_size <= 0 then invalid_arg "Protocol.config: table_size must be positive";
+  if num_cps < 1 then invalid_arg "Protocol.config: need at least one CP";
+  if noise_flips_per_cp < 0 then invalid_arg "Protocol.config: negative flips";
+  { table_size; num_cps; noise_flips_per_cp; proof_rounds; verify; confidence; tamper }
+
+let flips_for_params params ~sensitivity ~num_cps =
+  let total = Dp.Mechanism.binomial_n_for params ~sensitivity in
+  (total + num_cps - 1) / num_cps
+
+type t = {
+  cfg : config;
+  cps : Cp.t array;
+  joint : Crypto.Elgamal.pub;
+  round_key : string;
+  tables : Table.t array;
+  (* simulator-side ground truth of inserted items, for diagnostics *)
+  inserted : (string, unit) Hashtbl.t array;
+  mutable finished : bool;
+}
+
+let create cfg ~num_dcs ~seed =
+  if num_dcs < 1 then invalid_arg "Protocol.create: need at least one DC";
+  let cps = Array.init cfg.num_cps (fun id -> Cp.create ~id ~seed) in
+  (* CPs publish keys with proofs of knowledge; the TS checks them. *)
+  Array.iter
+    (fun cp ->
+      let proof = Cp.key_proof cp in
+      if not (Cp.verify_key_proof ~id:(Cp.id cp) ~pub:(Cp.public_key cp) proof) then
+        failwith "Protocol.create: CP key proof rejected")
+    cps;
+  let joint = Crypto.Elgamal.joint_pub (Array.to_list (Array.map Cp.public_key cps)) in
+  let round_key = Crypto.Sha256.digest (Printf.sprintf "psc-round-key|%d" seed) in
+  let tables =
+    Array.init num_dcs (fun dc ->
+        let drbg = Crypto.Drbg.create (Printf.sprintf "psc-dc|%d|%d" seed dc) in
+        Table.create ~table_size:cfg.table_size ~key:round_key ~joint ~drbg)
+  in
+  {
+    cfg;
+    cps;
+    joint;
+    round_key;
+    tables;
+    inserted = Array.init num_dcs (fun _ -> Hashtbl.create 256);
+    finished = false;
+  }
+
+let insert t ~dc item =
+  if t.finished then invalid_arg "Protocol.insert: round already run";
+  if dc < 0 || dc >= Array.length t.tables then invalid_arg "Protocol.insert: bad dc";
+  Table.insert t.tables.(dc) item;
+  if not (Hashtbl.mem t.inserted.(dc) item) then Hashtbl.replace t.inserted.(dc) item ()
+
+let true_union_size t =
+  let all = Hashtbl.create 1024 in
+  Array.iter
+    (fun tbl -> Hashtbl.iter (fun item () -> Hashtbl.replace all item ()) tbl)
+    t.inserted;
+  Hashtbl.length all
+
+let inserted_slots t ~dc =
+  let slots = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun item () ->
+      Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
+    t.inserted.(dc);
+  Hashtbl.length slots
+
+type result = {
+  raw_nonzero : int;
+  total_flips : int;
+  estimate : float;
+  ci : Stats.Ci.t;
+  proofs_ok : bool;
+  culprits : int list;
+}
+
+let run t =
+  if t.finished then invalid_arg "Protocol.run: round already run";
+  t.finished <- true;
+  let culprits = ref [] in
+  let blame cp_id = if not (List.mem cp_id !culprits) then culprits := cp_id :: !culprits in
+  let tampering cp action =
+    match t.cfg.tamper with
+    | Some { tampered_cp; action = a } -> tampered_cp = Cp.id cp && a = action
+    | None -> false
+  in
+  (* 1. combine the DCs' tables into the encrypted union *)
+  let combined = Table.combine (Array.to_list t.tables) in
+  (* 2. every CP appends its encrypted noise bits; with verification on,
+     each slot carries a disjunctive bit-validity proof checked here *)
+  let tamper_drbg = Crypto.Drbg.create "psc-tamper" in
+  let with_noise =
+    Array.fold_left
+      (fun vector cp ->
+        let slots =
+          if t.cfg.verify then begin
+            let proven = Cp.noise_slots_proven cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp in
+            let proven =
+              if tampering cp `Noise_nonbit && Array.length proven > 0 then begin
+                (* a Byzantine CP injects Enc(marker^2) as "noise" with a
+                   forged bit proof *)
+                let r = Crypto.Group.random_exp tamper_drbg in
+                let bad =
+                  Crypto.Elgamal.encrypt_with ~r t.joint
+                    (Crypto.Group.mul Crypto.Elgamal.marker Crypto.Elgamal.marker)
+                in
+                let forged = Crypto.Bit_proof.prove tamper_drbg ~pk:t.joint ~r ~bit:true bad in
+                proven.(0) <- (bad, forged);
+                proven
+              end
+              else proven
+            in
+            Array.iter
+              (fun (ct, proof) ->
+                if not (Crypto.Bit_proof.verify ~pk:t.joint ct proof) then blame (Cp.id cp))
+              proven;
+            Array.map fst proven
+          end
+          else Cp.noise_slots cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp
+        in
+        Array.append vector slots)
+      combined t.cps
+  in
+  let total_flips = t.cfg.noise_flips_per_cp * Array.length t.cps in
+  (* 3. shuffle/rerandomize pipeline, one pass per CP, proofs checked *)
+  let shuffled =
+    Array.fold_left
+      (fun vector cp ->
+        let output, proof = Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector in
+        let output =
+          if tampering cp `Shuffle_swap && Array.length output > 0 then begin
+            (* a Byzantine CP substitutes a slot mid-shuffle *)
+            let output = Array.copy output in
+            output.(0) <- Crypto.Elgamal.encrypt tamper_drbg t.joint Crypto.Elgamal.marker;
+            output
+          end
+          else output
+        in
+        (match (t.cfg.verify, proof) with
+        | true, Some proof ->
+          if not (Crypto.Shuffle.verify t.joint ~input:vector ~output proof) then
+            blame (Cp.id cp)
+        | true, None when t.cfg.proof_rounds <> None -> blame (Cp.id cp)
+        | _ -> ());
+        Cp.rerandomize_bits cp output)
+      with_noise t.cps
+  in
+  (* 4. joint verifiable decryption *)
+  let shares = Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps in
+  if t.cfg.verify then
+    Array.iter2
+      (fun cp share ->
+        if not (Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share) then
+          blame (Cp.id cp))
+      t.cps shares;
+  let raw_nonzero = ref 0 in
+  Array.iteri
+    (fun i ct ->
+      let partials = Array.to_list (Array.map (fun s -> s.Cp.shares.(i)) shares) in
+      let plain = Crypto.Elgamal.combine_partial ct partials in
+      if not (Crypto.Elgamal.is_identity_plaintext plain) then incr raw_nonzero)
+    shuffled;
+  (* 5. estimate: subtract the noise mean, invert the occupancy bias *)
+  let occupied = float_of_int !raw_nonzero -. (float_of_int total_flips /. 2.0) in
+  let estimate =
+    Stats.Ci.invert_occupancy ~table_size:t.cfg.table_size
+      (max 0.0 (min occupied (float_of_int t.cfg.table_size -. 1.0)))
+  in
+  let ci =
+    Stats.Ci.binomial_exact ~confidence:t.cfg.confidence ~observed:!raw_nonzero
+      ~flips:total_flips ~table_size:t.cfg.table_size ()
+  in
+  {
+    raw_nonzero = !raw_nonzero;
+    total_flips;
+    estimate;
+    ci;
+    proofs_ok = !culprits = [];
+    culprits = List.sort compare !culprits;
+  }

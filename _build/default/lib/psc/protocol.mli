@@ -1,0 +1,61 @@
+(** The full PSC protocol (Fenske et al. CCS'17, with the paper's TS
+    coordinator): data collectors maintain oblivious tables of encrypted
+    bits; computation parties add binomial noise, shuffle, rerandomize
+    and jointly decrypt; the output is |union of the DCs' item sets|
+    plus known binomial noise, corrected for hash collisions. *)
+
+type tamper = {
+  tampered_cp : int;
+  action : [ `Shuffle_swap | `Noise_nonbit ];
+}
+(** Fault injection: make one CP misbehave (substitute a ciphertext
+    mid-shuffle, or inject a non-bit "noise" slot with a forged proof)
+    so tests can check the proofs identify the culprit. *)
+
+type config = {
+  table_size : int;
+  num_cps : int;
+  noise_flips_per_cp : int;
+  proof_rounds : int option;
+      (** shuffle-proof soundness rounds; [None] disables proofs for
+          large throughput runs (tests keep them on) *)
+  verify : bool;  (** verify noise, shuffle and decryption proofs *)
+  confidence : float;
+  tamper : tamper option;
+}
+
+val config :
+  ?num_cps:int -> ?noise_flips_per_cp:int -> ?proof_rounds:int option ->
+  ?verify:bool -> ?confidence:float -> ?tamper:tamper -> table_size:int -> unit -> config
+
+val flips_for_params : Dp.Mechanism.params -> sensitivity:float -> num_cps:int -> int
+(** Per-CP flips so the total binomial noise gives (ε,δ)-DP. *)
+
+type t
+
+val create : config -> num_dcs:int -> seed:int -> t
+
+val insert : t -> dc:int -> string -> unit
+(** Record an item at a data collector (e.g. a client IP at a guard). *)
+
+val true_union_size : t -> int
+(** Simulator ground truth: the exact cardinality of the union of all
+    DCs' item sets (not available to any real protocol party). *)
+
+val inserted_slots : t -> dc:int -> int
+(** Diagnostic: occupied-slot count a DC would have if decrypted alone
+    (computed from plaintext knowledge in the simulator; not part of
+    the protocol). *)
+
+type result = {
+  raw_nonzero : int;       (** decrypted non-identity slots *)
+  total_flips : int;
+  estimate : float;        (** collision- and noise-corrected cardinality *)
+  ci : Stats.Ci.t;         (** 95% CI on the true cardinality *)
+  proofs_ok : bool;        (** all noise/shuffle/decryption proofs verified *)
+  culprits : int list;     (** CPs whose proofs failed, for blame/abort *)
+}
+
+val run : t -> result
+(** Execute the pipeline and produce the cardinality estimate.
+    Callable once. *)

@@ -1,0 +1,46 @@
+(* A DC's oblivious counter table: a fixed-size vector of ElGamal
+   ciphertexts under the CPs' joint key. Every slot starts as a fresh
+   encryption of the identity (bit 0); inserting an item overwrites its
+   slot with a fresh encryption of the non-identity marker (bit 1).
+   Because every write is a fresh encryption, the table is oblivious:
+   its contents never reveal which slots were touched, or how often. *)
+
+type t = {
+  slots : Crypto.Elgamal.ciphertext array;
+  key : string;           (* round hash key, shared by all DCs *)
+  joint : Crypto.Elgamal.pub;
+  drbg : Crypto.Drbg.t;
+}
+
+let create ~table_size ~key ~joint ~drbg =
+  {
+    slots =
+      Array.init table_size (fun _ -> Crypto.Elgamal.encrypt drbg joint Crypto.Elgamal.one);
+    key;
+    joint;
+    drbg;
+  }
+
+let size t = Array.length t.slots
+
+let insert t item =
+  let i = Item.slot ~key:t.key ~table_size:(Array.length t.slots) item in
+  t.slots.(i) <- Crypto.Elgamal.encrypt t.drbg t.joint Crypto.Elgamal.marker
+
+(* Slot-wise homomorphic combination of the DCs' tables: identity *
+   identity = identity, anything else is non-identity (the marker has
+   prime order q, and at most a few hundred DCs multiply in, so the
+   product can never cycle back to the identity). This computes the
+   encrypted union. *)
+let combine tables =
+  match tables with
+  | [] -> invalid_arg "Table.combine: no tables"
+  | first :: rest ->
+    let n = size first in
+    List.iter
+      (fun t -> if size t <> n then invalid_arg "Table.combine: size mismatch")
+      rest;
+    Array.init n (fun i ->
+        List.fold_left
+          (fun acc t -> Crypto.Elgamal.mul acc t.slots.(i))
+          first.slots.(i) rest)

@@ -1,0 +1,16 @@
+(** A data collector's oblivious counter table: a vector of ElGamal
+    ciphertexts under the CPs' joint key. Slots start as fresh
+    encryptions of bit 0; inserting overwrites the item's slot with a
+    fresh encryption of bit 1 — every write is a fresh ciphertext, so
+    the table never reveals which slots were touched or how often. *)
+
+type t
+
+val create :
+  table_size:int -> key:string -> joint:Crypto.Elgamal.pub -> drbg:Crypto.Drbg.t -> t
+
+val size : t -> int
+val insert : t -> string -> unit
+
+val combine : t list -> Crypto.Elgamal.ciphertext array
+(** Slot-wise homomorphic OR across DCs: the encrypted union. *)

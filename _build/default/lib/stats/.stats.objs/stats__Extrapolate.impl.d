@@ -1,0 +1,1 @@
+lib/stats/extrapolate.ml: Ci

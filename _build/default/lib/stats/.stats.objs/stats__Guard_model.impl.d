@@ -1,0 +1,1 @@
+lib/stats/guard_model.ml: Ci List

@@ -1,0 +1,55 @@
+type measurement = { fraction : float; count_ci : Ci.t }
+
+let visibility ~g ~f = 1.0 -. ((1.0 -. f) ** float_of_int g)
+
+let expected_unique ~n_selective ~n_promiscuous ~g ~f =
+  (n_selective *. visibility ~g ~f) +. n_promiscuous
+
+let selective_range { fraction; count_ci } ~g ~n_promiscuous =
+  let v = visibility ~g ~f:fraction in
+  let lo = max 0.0 ((count_ci.Ci.lo -. n_promiscuous) /. v) in
+  let hi = max 0.0 ((count_ci.Ci.hi -. n_promiscuous) /. v) in
+  Ci.make (min lo hi) (max lo hi)
+
+type fit = { g : int; promiscuous : Ci.t; network_ips : Ci.t }
+
+let fit_promiscuous m1 m2 ~g ?p_max ?(steps = 400) () =
+  let p_max =
+    match p_max with
+    | Some p -> p
+    | None -> min m1.count_ci.Ci.hi m2.count_ci.Ci.hi
+  in
+  let accepted = ref [] in
+  for i = 0 to steps do
+    let p = p_max *. float_of_int i /. float_of_int steps in
+    let r1 = selective_range m1 ~g ~n_promiscuous:p in
+    let r2 = selective_range m2 ~g ~n_promiscuous:p in
+    match Ci.intersect r1 r2 with
+    | Some sel -> accepted := (p, sel) :: !accepted
+    | None -> ()
+  done;
+  match !accepted with
+  | [] -> None
+  | accepted ->
+    let ps = List.map fst accepted in
+    let p_lo = List.fold_left min infinity ps and p_hi = List.fold_left max neg_infinity ps in
+    let totals =
+      List.map (fun (p, sel) -> Ci.make (sel.Ci.lo +. p) (sel.Ci.hi +. p)) accepted
+    in
+    let network_ips =
+      match totals with
+      | first :: rest -> List.fold_left Ci.union first rest
+      | [] -> assert false
+    in
+    Some { g; promiscuous = Ci.make p_lo p_hi; network_ips }
+
+let consistent_g_range m1 m2 ?(g_max = 200) () =
+  let consistent g =
+    let r1 = selective_range m1 ~g ~n_promiscuous:0.0 in
+    let r2 = selective_range m2 ~g ~n_promiscuous:0.0 in
+    Ci.intersect r1 r2 <> None
+  in
+  let gs = List.filter consistent (List.init g_max (fun i -> i + 1)) in
+  match gs with
+  | [] -> None
+  | g :: _ -> Some (g, List.fold_left max g gs)

@@ -1,0 +1,33 @@
+(** The client–guard contact model of §5.1 / Table 3.
+
+    Selective clients contact [g] guards in 24h; promiscuous clients
+    (bridges, tor2web, big NATs) contact effectively all guards. A relay
+    set holding a fraction [f] of guard weight therefore expects to see
+      E(f) = n_selective · (1 − (1−f)^g) + n_promiscuous
+    unique client IPs. Two measurements with disjoint relay sets
+    over-determine the model and let us invert it. *)
+
+type measurement = { fraction : float; count_ci : Ci.t }
+
+val expected_unique : n_selective:float -> n_promiscuous:float -> g:int -> f:float -> float
+
+val selective_range : measurement -> g:int -> n_promiscuous:float -> Ci.t
+(** The n_selective interval consistent with one measurement, given g
+    and a promiscuous population. *)
+
+type fit = {
+  g : int;
+  promiscuous : Ci.t;      (** acceptable promiscuous-client range *)
+  network_ips : Ci.t;      (** implied total unique client IPs *)
+}
+
+val fit_promiscuous :
+  measurement -> measurement -> g:int -> ?p_max:float -> ?steps:int -> unit -> fit option
+(** Scan promiscuous counts; keep those where the two measurements'
+    selective ranges intersect. None if no value of p is consistent. *)
+
+val consistent_g_range :
+  measurement -> measurement -> ?g_max:int -> unit -> (int * int) option
+(** Without promiscuous clients, the range of g for which the two
+    measurements are mutually consistent (the paper finds [27,34],
+    rejecting the pure model). None if no g works. *)

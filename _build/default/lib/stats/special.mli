@@ -1,0 +1,20 @@
+(** Special functions needed by the confidence-interval machinery. *)
+
+val erf : float -> float
+(** Error function; Abramowitz–Stegun 7.1.26-style rational
+    approximation refined with one Newton step, |err| < 1e-12. *)
+
+val erfc : float -> float
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Φ((x-mu)/sigma). *)
+
+val normal_ppf : float -> float
+(** Inverse standard normal CDF (Acklam's algorithm + Halley
+    refinement); accurate to ~1e-13 on (0,1). *)
+
+val z_for_confidence : float -> float
+(** [z_for_confidence 0.95] = 1.959963... *)
+
+val log_gamma : float -> float
+(** Lanczos approximation of ln Γ(x), x > 0. *)

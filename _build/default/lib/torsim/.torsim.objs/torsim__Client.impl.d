@@ -1,0 +1,1 @@
+lib/torsim/client.ml: Array Consensus Prng Relay

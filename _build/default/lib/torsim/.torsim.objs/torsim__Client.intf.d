@@ -1,0 +1,1 @@
+lib/torsim/client.mli: Consensus Prng Relay

@@ -1,0 +1,1 @@
+lib/torsim/consensus.ml: Array Float List Prng Relay

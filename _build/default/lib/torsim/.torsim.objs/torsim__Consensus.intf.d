@@ -1,0 +1,1 @@
+lib/torsim/consensus.mli: Prng Relay

@@ -1,0 +1,1 @@
+lib/torsim/descriptor.ml: Crypto List Printf Relay String

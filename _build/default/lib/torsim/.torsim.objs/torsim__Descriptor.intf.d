@@ -1,0 +1,1 @@
+lib/torsim/descriptor.mli: Crypto Relay

@@ -1,0 +1,1 @@
+lib/torsim/engine.ml: Array Client Consensus Descriptor Event Ground_truth Hsdir_ring List Onion Prng

@@ -1,0 +1,1 @@
+lib/torsim/engine.mli: Client Consensus Descriptor Event Ground_truth Hsdir_ring Onion Prng Relay

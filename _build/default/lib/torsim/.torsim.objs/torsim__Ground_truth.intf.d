@@ -1,0 +1,1 @@
+lib/torsim/ground_truth.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/torsim/hsdir_ring.ml: Array Crypto Hashtbl List Printf Relay

@@ -1,0 +1,1 @@
+lib/torsim/hsdir_ring.mli: Relay

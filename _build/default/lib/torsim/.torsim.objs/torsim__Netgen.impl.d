@@ -1,0 +1,1 @@
+lib/torsim/netgen.ml: Array Consensus Float Printf Prng Relay

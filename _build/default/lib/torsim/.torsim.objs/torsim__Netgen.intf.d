@@ -1,0 +1,1 @@
+lib/torsim/netgen.mli: Consensus Prng

@@ -1,0 +1,1 @@
+lib/torsim/onion.ml: Array Crypto Hashtbl List Printf Prng String

@@ -1,0 +1,1 @@
+lib/torsim/relay.mli: Format

@@ -1,0 +1,1 @@
+lib/torsim/wire.ml: Buffer Char Event List Printf Result String

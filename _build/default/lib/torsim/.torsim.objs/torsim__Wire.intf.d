@@ -1,0 +1,1 @@
+lib/torsim/wire.mli: Event

@@ -1,0 +1,33 @@
+(* A simulated Tor client. Selective clients hold a small fixed set of
+   guards (1 data guard + directory guards, g in {3,4,5}); promiscuous
+   clients (bridges, tor2web front-ends, large NATs) contact every
+   guard over a day (paper §5.1). *)
+
+type kind = Selective | Promiscuous
+
+type t = {
+  ip : int;
+  country : string;
+  asn : int;
+  kind : kind;
+  guards : Relay.id array;  (* the guards this client contacts *)
+}
+
+let make_selective consensus rng ~ip ~country ~asn ~g =
+  if g < 1 then invalid_arg "Client.make_selective: g must be >= 1";
+  (* g independent weighted draws (rarely, two coincide on a large
+     relay). The FIRST draw is the data guard, so the primary-guard
+     marginal is weight-proportional; and because draws are iid, a
+     relay set holding fraction f of guard weight sees the client with
+     probability exactly 1 - (1-f)^g — the visibility model Table 3's
+     inference inverts (sorting by id, or forcing distinctness, would
+     bias both). *)
+  let guards = Array.init g (fun _ -> Consensus.sample_guard consensus rng) in
+  { ip; country; asn; kind = Selective; guards }
+
+let make_promiscuous consensus ~ip ~country ~asn =
+  { ip; country; asn; kind = Promiscuous; guards = Array.copy (Consensus.guard_ids consensus) }
+
+let primary_guard t = t.guards.(0)
+
+let some_guard t rng = t.guards.(Prng.Rng.below rng (Array.length t.guards))

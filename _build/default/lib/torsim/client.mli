@@ -1,0 +1,26 @@
+(** Simulated Tor clients. Selective clients hold a small fixed guard
+    set (data guard + directory guards, g in {3,4,5}); promiscuous
+    clients (bridges, tor2web, large NATs) contact every guard over a
+    day (paper §5.1). *)
+
+type kind = Selective | Promiscuous
+
+type t = {
+  ip : int;
+  country : string;
+  asn : int;
+  kind : kind;
+  guards : Relay.id array;
+}
+
+val make_selective :
+  Consensus.t -> Prng.Rng.t -> ip:int -> country:string -> asn:int -> g:int -> t
+(** Samples [g] distinct guards weighted by guard weight. *)
+
+val make_promiscuous : Consensus.t -> ip:int -> country:string -> asn:int -> t
+
+val primary_guard : t -> Relay.id
+(** The data guard (all user traffic flows through it). *)
+
+val some_guard : t -> Prng.Rng.t -> Relay.id
+(** A uniformly random guard from the client's set (directory use). *)

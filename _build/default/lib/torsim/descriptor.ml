@@ -1,0 +1,79 @@
+type identity = {
+  keypair : Crypto.Schnorr_sig.keypair;
+  v2_address : string;
+}
+
+let address_of_key pub =
+  let digest = Crypto.Sha256.hex ("onion-v2-address|" ^ Crypto.Group.elt_to_string pub) in
+  String.sub digest 0 16 ^ ".onion"
+
+let make_identity drbg =
+  let keypair = Crypto.Schnorr_sig.keygen drbg in
+  { keypair; v2_address = address_of_key keypair.Crypto.Schnorr_sig.pub }
+
+type t = {
+  version : [ `V2 | `V3 ];
+  address : string;
+  intro_points : Relay.id list;
+  period : int;
+  public : Crypto.Group.elt;
+  signature : Crypto.Schnorr_sig.signature;
+}
+
+let payload_of ~address ~intro_points ~period =
+  Printf.sprintf "desc|%s|%s|%d" address
+    (String.concat "," (List.map string_of_int intro_points))
+    period
+
+let payload t = payload_of ~address:t.address ~intro_points:t.intro_points ~period:t.period
+
+let create_v2 drbg identity ~intro_points ~period =
+  let address = identity.v2_address in
+  let signature =
+    Crypto.Schnorr_sig.sign drbg ~priv:identity.keypair.Crypto.Schnorr_sig.priv
+      (payload_of ~address ~intro_points ~period)
+  in
+  { version = `V2; address; intro_points; period;
+    public = identity.keypair.Crypto.Schnorr_sig.pub; signature }
+
+(* v3 key blinding: the period-specific key is
+     priv' = priv + H(pub, period),  pub' = pub * g^H(pub, period)
+   so anyone knowing the *identity* public key can derive pub' for a
+   period, but two blinded addresses from different periods are
+   unlinkable without it. *)
+let blinding_factor pub ~period =
+  Crypto.Group.hash_to_exp
+    (Printf.sprintf "v3-blind|%s|%d" (Crypto.Group.elt_to_string pub) period)
+
+let blinded_keypair identity ~period =
+  let pub = identity.keypair.Crypto.Schnorr_sig.pub in
+  let h = blinding_factor pub ~period in
+  let priv' = Crypto.Group.exp_add identity.keypair.Crypto.Schnorr_sig.priv h in
+  let pub' = Crypto.Group.mul pub (Crypto.Group.pow_g h) in
+  (priv', pub')
+
+let v3_blinded_address identity ~period =
+  let _, pub' = blinded_keypair identity ~period in
+  let digest = Crypto.Sha256.hex ("onion-v3-address|" ^ Crypto.Group.elt_to_string pub') in
+  String.sub digest 0 16 ^ ".onion"
+
+let create_v3 drbg identity ~intro_points ~period =
+  let priv', pub' = blinded_keypair identity ~period in
+  let address =
+    let digest = Crypto.Sha256.hex ("onion-v3-address|" ^ Crypto.Group.elt_to_string pub') in
+    String.sub digest 0 16 ^ ".onion"
+  in
+  let signature =
+    Crypto.Schnorr_sig.sign drbg ~priv:priv' (payload_of ~address ~intro_points ~period)
+  in
+  { version = `V3; address; intro_points; period; public = pub'; signature }
+
+let verify t =
+  let address_ok =
+    match t.version with
+    | `V2 -> t.address = address_of_key t.public
+    | `V3 ->
+      let digest = Crypto.Sha256.hex ("onion-v3-address|" ^ Crypto.Group.elt_to_string t.public) in
+      t.address = String.sub digest 0 16 ^ ".onion"
+  in
+  address_ok && Crypto.Schnorr_sig.verify ~pub:t.public (payload t) t.signature

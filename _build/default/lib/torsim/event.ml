@@ -1,0 +1,44 @@
+(* The observation events our patched Tor emits to PrivCount/PSC data
+   collectors (paper §3.1). Each event is observed at one relay; the
+   engine only materializes events at relays that have a registered
+   collector, mirroring how only our 16 relays ran the patched Tor. *)
+
+type dest = Hostname of string | Ipv4_literal | Ipv6_literal
+
+type stream_kind = Initial | Subsequent
+
+type fetch_result =
+  | Fetch_ok of { public : bool }  (* descriptor served; [public] = listed in the (ahmia-like) index *)
+  | Fetch_missing                  (* no such descriptor in the DHT *)
+  | Fetch_malformed                (* unparseable request *)
+
+type rend_outcome =
+  | Rend_success of { cells : int }  (* active circuit; cells carried *)
+  | Rend_closed                      (* connection closed before completion *)
+  | Rend_expired                     (* circuit timed out before completion *)
+
+type circuit_kind = Data_circuit | Directory_circuit
+
+type t =
+  | Client_connection of { client_ip : int; country : string; asn : int }
+  | Client_circuit of { client_ip : int; country : string; asn : int; kind : circuit_kind }
+  | Entry_bytes of { client_ip : int; country : string; asn : int; bytes : float }
+  | Directory_request of { client_ip : int }
+  | Exit_stream of { kind : stream_kind; dest : dest; port : int }
+  | Exit_bytes of { bytes : float }
+  | Descriptor_published of { address : string; first_publish : bool }
+  | Descriptor_fetch of { address : string; result : fetch_result }
+  | Rendezvous_circuit of { outcome : rend_outcome }
+
+let is_web_port port = port = 80 || port = 443
+
+let describe = function
+  | Client_connection _ -> "client-connection"
+  | Client_circuit _ -> "client-circuit"
+  | Entry_bytes _ -> "entry-bytes"
+  | Directory_request _ -> "directory-request"
+  | Exit_stream _ -> "exit-stream"
+  | Exit_bytes _ -> "exit-bytes"
+  | Descriptor_published _ -> "descriptor-published"
+  | Descriptor_fetch _ -> "descriptor-fetch"
+  | Rendezvous_circuit _ -> "rendezvous-circuit"

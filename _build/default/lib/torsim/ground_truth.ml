@@ -1,0 +1,100 @@
+(* Exact network-wide tallies maintained alongside the simulation. The
+   whole point of simulating the network is that, unlike on the live
+   Tor network, we can compare what the privacy-preserving pipeline
+   reports against the truth. *)
+
+type t = {
+  mutable connections : int;
+  mutable data_circuits : int;
+  mutable directory_circuits : int;
+  mutable entry_bytes : float;
+  mutable streams_total : int;
+  mutable streams_initial : int;
+  mutable initial_hostname : int;
+  mutable initial_ipv4 : int;
+  mutable initial_ipv6 : int;
+  mutable hostname_web : int;
+  mutable hostname_other_port : int;
+  mutable exit_bytes : float;
+  mutable descriptor_publishes : int;
+  mutable descriptor_publish_rejected : int;
+  mutable descriptor_fetches : int;
+  mutable descriptor_fetch_ok : int;
+  mutable descriptor_fetch_failed : int;
+  mutable rend_circuits : int;
+  mutable rend_success : int;
+  mutable rend_closed : int;
+  mutable rend_expired : int;
+  mutable rend_cells : int;
+  unique_client_ips : (int, unit) Hashtbl.t;
+  unique_countries : (string, unit) Hashtbl.t;
+  unique_asns : (int, unit) Hashtbl.t;
+  unique_domains : (string, unit) Hashtbl.t;       (* initial-stream hostnames *)
+  unique_published_onions : (string, unit) Hashtbl.t;
+  unique_fetched_onions : (string, unit) Hashtbl.t;
+  per_country_connections : (string, int ref) Hashtbl.t;
+  per_country_bytes : (string, float ref) Hashtbl.t;
+  per_country_circuits : (string, int ref) Hashtbl.t;
+}
+
+let create () = {
+  connections = 0;
+  data_circuits = 0;
+  directory_circuits = 0;
+  entry_bytes = 0.0;
+  streams_total = 0;
+  streams_initial = 0;
+  initial_hostname = 0;
+  initial_ipv4 = 0;
+  initial_ipv6 = 0;
+  hostname_web = 0;
+  hostname_other_port = 0;
+  exit_bytes = 0.0;
+  descriptor_publishes = 0;
+  descriptor_publish_rejected = 0;
+  descriptor_fetches = 0;
+  descriptor_fetch_ok = 0;
+  descriptor_fetch_failed = 0;
+  rend_circuits = 0;
+  rend_success = 0;
+  rend_closed = 0;
+  rend_expired = 0;
+  rend_cells = 0;
+  unique_client_ips = Hashtbl.create 4096;
+  unique_countries = Hashtbl.create 256;
+  unique_asns = Hashtbl.create 1024;
+  unique_domains = Hashtbl.create 4096;
+  unique_published_onions = Hashtbl.create 1024;
+  unique_fetched_onions = Hashtbl.create 1024;
+  per_country_connections = Hashtbl.create 256;
+  per_country_bytes = Hashtbl.create 256;
+  per_country_circuits = Hashtbl.create 256;
+}
+
+let bump_int tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let bump_float tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.replace tbl key (ref v)
+
+let mark tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key ()
+
+let unique_clients t = Hashtbl.length t.unique_client_ips
+let unique_countries t = Hashtbl.length t.unique_countries
+let unique_asns t = Hashtbl.length t.unique_asns
+let unique_domains t = Hashtbl.length t.unique_domains
+let unique_published_onions t = Hashtbl.length t.unique_published_onions
+let unique_fetched_onions t = Hashtbl.length t.unique_fetched_onions
+
+let country_connections t c =
+  match Hashtbl.find_opt t.per_country_connections c with Some r -> !r | None -> 0
+
+let country_bytes t c =
+  match Hashtbl.find_opt t.per_country_bytes c with Some r -> !r | None -> 0.0
+
+let country_circuits t c =
+  match Hashtbl.find_opt t.per_country_circuits c with Some r -> !r | None -> 0

@@ -1,0 +1,50 @@
+(* Synthetic consensus generation. Relay bandwidth in the live Tor
+   network is heavy-tailed; we draw weights from a Pareto distribution
+   and assign flags with probabilities close to the live network's mix
+   (about 1/3 of relays are guards, ~15% are exits, and most stable
+   relays are HSDirs). *)
+
+type config = {
+  relays : int;
+  guard_prob : float;
+  exit_prob : float;
+  hsdir_prob : float;
+  pareto_alpha : float;  (* bandwidth tail exponent *)
+  pareto_cap : float;    (* truncation: no synthetic mega-relay may
+                            dwarf the network (live Tor's largest relay
+                            holds ~1-2% of capacity) *)
+}
+
+let default =
+  { relays = 600; guard_prob = 0.38; exit_prob = 0.16; hsdir_prob = 0.55; pareto_alpha = 1.3;
+    pareto_cap = 50.0 }
+
+let pareto rng alpha cap = Float.min cap (Prng.Rng.float_pos rng ** (-1.0 /. alpha))
+
+let generate ?(config = default) rng =
+  if config.relays < 10 then invalid_arg "Netgen.generate: need at least 10 relays";
+  let relays =
+    Array.init config.relays (fun id ->
+        let bandwidth = 10.0 *. pareto rng config.pareto_alpha config.pareto_cap in
+        let guard = Prng.Rng.bernoulli rng config.guard_prob in
+        let exit = Prng.Rng.bernoulli rng config.exit_prob in
+        let hsdir = Prng.Rng.bernoulli rng config.hsdir_prob in
+        Relay.make ~id ~nickname:(Printf.sprintf "relay%04d" id) ~bandwidth ~guard ~exit ~hsdir)
+  in
+  (* Guarantee positive capacity per role so Consensus.create succeeds
+     on small test networks (each fix targets a distinct relay). *)
+  let ensure idx pred fix =
+    if not (Array.exists pred relays) then relays.(idx) <- fix relays.(idx)
+  in
+  ensure 0
+    (fun r -> Relay.guard_weight r > 0.0)
+    (fun r -> { r with Relay.flags = { r.Relay.flags with Relay.guard = true; exit = false } });
+  ensure 1
+    (fun r -> Relay.exit_weight r > 0.0)
+    (fun r -> { r with Relay.flags = { r.Relay.flags with Relay.exit = true } });
+  ensure 2
+    (fun r -> Relay.middle_weight r > 0.0)
+    (fun r -> { r with Relay.flags = { r.Relay.flags with Relay.exit = false } });
+  ensure 3 Relay.is_hsdir (fun r ->
+      { r with Relay.flags = { r.Relay.flags with Relay.hsdir = true } });
+  Consensus.create relays

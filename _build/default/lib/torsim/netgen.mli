@@ -1,0 +1,18 @@
+(** Synthetic consensus generation with a heavy-tailed (Pareto)
+    bandwidth distribution and flag probabilities close to the live
+    network's mix. *)
+
+type config = {
+  relays : int;
+  guard_prob : float;
+  exit_prob : float;
+  hsdir_prob : float;
+  pareto_alpha : float;
+  pareto_cap : float;
+      (** truncation of the bandwidth tail: no synthetic mega-relay *)
+}
+
+val default : config
+
+val generate : ?config:config -> Prng.Rng.t -> Consensus.t
+(** Always yields at least one guard, one exit and one HSDir. *)

@@ -1,0 +1,209 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '=' -> Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error "truncated escape"
+      else
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+          Buffer.add_char b (Char.chr code);
+          go (i + 3)
+        | None -> Error "bad escape"
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let kv key value = Printf.sprintf "%s=%s" key (escape value)
+
+let client_fields ~client_ip ~country ~asn =
+  [ kv "ip" (string_of_int client_ip); kv "cc" country; kv "asn" (string_of_int asn) ]
+
+let to_line event =
+  let parts =
+    match event with
+    | Event.Client_connection { client_ip; country; asn } ->
+      "CONN" :: client_fields ~client_ip ~country ~asn
+    | Event.Client_circuit { client_ip; country; asn; kind } ->
+      "CIRC"
+      :: kv "kind" (match kind with Event.Data_circuit -> "data" | Event.Directory_circuit -> "dir")
+      :: client_fields ~client_ip ~country ~asn
+    | Event.Entry_bytes { client_ip; country; asn; bytes } ->
+      "BYTES" :: kv "n" (Printf.sprintf "%.0f" bytes) :: client_fields ~client_ip ~country ~asn
+    | Event.Directory_request { client_ip } -> [ "DIRREQ"; kv "ip" (string_of_int client_ip) ]
+    | Event.Exit_stream { kind; dest; port } ->
+      [
+        "STREAM";
+        kv "kind" (match kind with Event.Initial -> "initial" | Event.Subsequent -> "subsequent");
+        (match dest with
+        | Event.Hostname h -> kv "host" h
+        | Event.Ipv4_literal -> kv "literal" "ipv4"
+        | Event.Ipv6_literal -> kv "literal" "ipv6");
+        kv "port" (string_of_int port);
+      ]
+    | Event.Exit_bytes { bytes } -> [ "XBYTES"; kv "n" (Printf.sprintf "%.0f" bytes) ]
+    | Event.Descriptor_published { address; first_publish } ->
+      [ "HSPUB"; kv "addr" address; kv "first" (string_of_bool first_publish) ]
+    | Event.Descriptor_fetch { address; result } ->
+      [
+        "HSFETCH";
+        kv "addr" address;
+        (match result with
+        | Event.Fetch_ok { public } -> kv "result" (if public then "ok-public" else "ok-unknown")
+        | Event.Fetch_missing -> kv "result" "missing"
+        | Event.Fetch_malformed -> kv "result" "malformed");
+      ]
+    | Event.Rendezvous_circuit { outcome } ->
+      [
+        "REND";
+        (match outcome with
+        | Event.Rend_success { cells } -> kv "outcome" ("success:" ^ string_of_int cells)
+        | Event.Rend_closed -> kv "outcome" "closed"
+        | Event.Rend_expired -> kv "outcome" "expired");
+      ]
+  in
+  String.concat " " parts
+
+let fields_of parts =
+  List.filter_map
+    (fun part ->
+      match String.index_opt part '=' with
+      | None -> None
+      | Some i ->
+        Some (String.sub part 0 i, String.sub part (i + 1) (String.length part - i - 1)))
+    parts
+
+let ( let* ) = Result.bind
+
+let lookup fields key =
+  match List.assoc_opt key fields with
+  | None -> Error (Printf.sprintf "missing field %s" key)
+  | Some raw -> unescape raw
+
+let lookup_int fields key =
+  let* v = lookup fields key in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "field %s is not an integer" key)
+
+let client_of fields =
+  let* client_ip = lookup_int fields "ip" in
+  let* country = lookup fields "cc" in
+  let* asn = lookup_int fields "asn" in
+  Ok (client_ip, country, asn)
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [] | [ "" ] -> Error "empty line"
+  | tag :: rest -> (
+    let fields = fields_of rest in
+    match tag with
+    | "CONN" ->
+      let* client_ip, country, asn = client_of fields in
+      Ok (Event.Client_connection { client_ip; country; asn })
+    | "CIRC" ->
+      let* client_ip, country, asn = client_of fields in
+      let* kind = lookup fields "kind" in
+      let* kind =
+        match kind with
+        | "data" -> Ok Event.Data_circuit
+        | "dir" -> Ok Event.Directory_circuit
+        | other -> Error ("unknown circuit kind " ^ other)
+      in
+      Ok (Event.Client_circuit { client_ip; country; asn; kind })
+    | "BYTES" ->
+      let* client_ip, country, asn = client_of fields in
+      let* n = lookup_int fields "n" in
+      Ok (Event.Entry_bytes { client_ip; country; asn; bytes = float_of_int n })
+    | "DIRREQ" ->
+      let* client_ip = lookup_int fields "ip" in
+      Ok (Event.Directory_request { client_ip })
+    | "STREAM" ->
+      let* kind = lookup fields "kind" in
+      let* kind =
+        match kind with
+        | "initial" -> Ok Event.Initial
+        | "subsequent" -> Ok Event.Subsequent
+        | other -> Error ("unknown stream kind " ^ other)
+      in
+      let* port = lookup_int fields "port" in
+      let* dest =
+        match (lookup fields "host", lookup fields "literal") with
+        | Ok h, _ -> Ok (Event.Hostname h)
+        | _, Ok "ipv4" -> Ok Event.Ipv4_literal
+        | _, Ok "ipv6" -> Ok Event.Ipv6_literal
+        | _, Ok other -> Error ("unknown literal " ^ other)
+        | Error _, Error _ -> Error "stream without destination"
+      in
+      Ok (Event.Exit_stream { kind; dest; port })
+    | "XBYTES" ->
+      let* n = lookup_int fields "n" in
+      Ok (Event.Exit_bytes { bytes = float_of_int n })
+    | "HSPUB" ->
+      let* address = lookup fields "addr" in
+      let* first = lookup fields "first" in
+      let* first_publish =
+        match bool_of_string_opt first with
+        | Some b -> Ok b
+        | None -> Error "bad first flag"
+      in
+      Ok (Event.Descriptor_published { address; first_publish })
+    | "HSFETCH" ->
+      let* address = lookup fields "addr" in
+      let* result = lookup fields "result" in
+      let* result =
+        match result with
+        | "ok-public" -> Ok (Event.Fetch_ok { public = true })
+        | "ok-unknown" -> Ok (Event.Fetch_ok { public = false })
+        | "missing" -> Ok Event.Fetch_missing
+        | "malformed" -> Ok Event.Fetch_malformed
+        | other -> Error ("unknown fetch result " ^ other)
+      in
+      Ok (Event.Descriptor_fetch { address; result })
+    | "REND" ->
+      let* outcome = lookup fields "outcome" in
+      let* outcome =
+        match String.split_on_char ':' outcome with
+        | [ "success"; cells ] -> (
+          match int_of_string_opt cells with
+          | Some cells -> Ok (Event.Rend_success { cells })
+          | None -> Error "bad cell count")
+        | [ "closed" ] -> Ok Event.Rend_closed
+        | [ "expired" ] -> Ok Event.Rend_expired
+        | _ -> Error "unknown rendezvous outcome"
+      in
+      Ok (Event.Rendezvous_circuit { outcome })
+    | other -> Error ("unknown event tag " ^ other))
+
+let write_log oc events =
+  List.iter
+    (fun event ->
+      output_string oc (to_line event);
+      output_char oc '\n')
+    events
+
+let read_log ic =
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line when String.trim line = "" -> go acc
+    | line -> (
+      match of_line line with
+      | Ok event -> go (event :: acc)
+      | Error reason -> Error (Printf.sprintf "%s: %s" reason line))
+  in
+  go []

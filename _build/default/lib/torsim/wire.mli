@@ -1,0 +1,17 @@
+(** Line-based serialization of observation events — the shape of the
+    interface between the patched Tor and the PrivCount/PSC data
+    collectors (Tor control-port events). Lets collectors be driven
+    from recorded event logs and lets the simulator's output be piped
+    to external tools. *)
+
+val to_line : Event.t -> string
+(** One event per line; fields are space-separated [key=value] pairs
+    with percent-escaped values. *)
+
+val of_line : string -> (Event.t, string) result
+(** Parse one line; [Error reason] on malformed input. *)
+
+val write_log : out_channel -> Event.t list -> unit
+
+val read_log : in_channel -> (Event.t list, string) result
+(** Stops at the first malformed line. *)

@@ -1,0 +1,1 @@
+lib/workload/asn.ml: Prng

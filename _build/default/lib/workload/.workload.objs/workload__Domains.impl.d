@@ -1,0 +1,1 @@
+lib/workload/domains.ml: Hashtbl Int64 Lazy List Option Printf Prng String

@@ -1,0 +1,1 @@
+lib/workload/exit_traffic.ml: Array Popularity Population Printf Prng Torsim

@@ -1,0 +1,1 @@
+lib/workload/exit_traffic.mli: Popularity Population Prng Torsim

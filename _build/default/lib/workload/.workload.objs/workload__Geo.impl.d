@@ -1,0 +1,1 @@
+lib/workload/geo.ml: Array Char Lazy List Printf Prng

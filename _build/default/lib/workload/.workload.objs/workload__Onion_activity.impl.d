@@ -1,0 +1,1 @@
+lib/workload/onion_activity.ml: Array Prng Torsim

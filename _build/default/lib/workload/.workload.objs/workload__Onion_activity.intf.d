@@ -1,0 +1,1 @@
+lib/workload/onion_activity.mli: Prng Torsim

@@ -1,0 +1,1 @@
+lib/workload/popularity.ml: Array Domains Hashtbl List Prng Torsim

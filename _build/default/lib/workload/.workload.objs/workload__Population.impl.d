@@ -1,0 +1,1 @@
+lib/workload/population.ml: Array Asn Geo Torsim

@@ -1,0 +1,58 @@
+(* Per-client daily behaviour for the client-side measurements
+   (Tables 4 & 5, Fig. 4). Means are per client-day; country modifiers
+   implement the geographic skews of §5.2, including the UAE
+   directory-circuit anomaly. *)
+
+type profile = {
+  connections_mean : float;   (* TCP connections to guards *)
+  data_circuits_mean : float; (* general-purpose circuits *)
+  dir_circuits_mean : float;  (* directory circuits *)
+  bytes_mean : float;         (* entry bytes up+down *)
+}
+
+(* Live-Tor ratios from Table 4: ~8.7 circuits per connection,
+   ~3.7 MiB per connection. Per-IP daily means assume the ~11M unique
+   IP population of Table 3 (g = 3). *)
+let default =
+  {
+    connections_mean = 13.5;
+    data_circuits_mean = 100.0;
+    dir_circuits_mean = 17.0;
+    bytes_mean = 48.0 *. 1024.0 *. 1024.0;
+  }
+
+let lognormal rng ~mean =
+  (* heavy-ish per-client variation with the requested mean: sigma = 1
+     lognormal has mean exp(mu + 1/2), so mu = ln mean - 1/2 *)
+  let mu = log mean -. 0.5 in
+  exp (Prng.Dist.normal rng ~mu ~sigma:1.0)
+
+let run_client_day engine profile client rng =
+  let country =
+    match Geo.find client.Torsim.Client.country with
+    | Some c -> c
+    | None -> { Geo.code = client.Torsim.Client.country; weight = 0.0; circuit_boost = 1.0; data_scale = 0.5 }
+  in
+  let conns = Prng.Dist.poisson rng ~lambda:profile.connections_mean in
+  for _ = 1 to max 1 conns do
+    Torsim.Engine.connect engine client
+  done;
+  let data_circuits =
+    Prng.Dist.poisson rng
+      ~lambda:(profile.data_circuits_mean *. country.Geo.data_scale *. 0.5
+               +. profile.data_circuits_mean *. 0.5)
+  in
+  let dir_circuits =
+    Prng.Dist.poisson rng ~lambda:(profile.dir_circuits_mean *. country.Geo.circuit_boost)
+  in
+  for _ = 1 to data_circuits do
+    Torsim.Engine.data_circuit engine client
+  done;
+  for _ = 1 to dir_circuits do
+    Torsim.Engine.directory_circuit engine client
+  done;
+  let bytes = lognormal rng ~mean:(profile.bytes_mean *. country.Geo.data_scale) in
+  Torsim.Engine.entry_bytes engine client bytes
+
+let run_population_day ?(profile = default) engine population rng =
+  Array.iter (fun client -> run_client_day engine profile client rng) (Population.clients population)

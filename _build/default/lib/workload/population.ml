@@ -1,0 +1,43 @@
+(* Client population builder. Selective clients contact g guards
+   (3 by default: one data guard plus two extra directory guards, §5.1);
+   promiscuous clients (bridges, tor2web, big NATs) contact all guards. *)
+
+type config = {
+  selective : int;
+  promiscuous : int;
+  guards_per_client : int;
+  ip_offset : int;  (* lets multi-day populations allocate fresh IPs *)
+}
+
+let default = { selective = 50_000; promiscuous = 120; guards_per_client = 3; ip_offset = 0 }
+
+type t = {
+  clients : Torsim.Client.t array;
+  config : config;
+}
+
+let build ?(config = default) consensus rng =
+  let next_ip = ref config.ip_offset in
+  let fresh_ip () =
+    incr next_ip;
+    !next_ip
+  in
+  let make_selective () =
+    let country = Geo.sample rng in
+    Torsim.Client.make_selective consensus rng ~ip:(fresh_ip ()) ~country:country.Geo.code
+      ~asn:(Asn.sample rng) ~g:config.guards_per_client
+  in
+  let make_promiscuous () =
+    let country = Geo.sample rng in
+    Torsim.Client.make_promiscuous consensus ~ip:(fresh_ip ()) ~country:country.Geo.code
+      ~asn:(Asn.sample rng)
+  in
+  let clients =
+    Array.init (config.selective + config.promiscuous) (fun i ->
+        if i < config.selective then make_selective () else make_promiscuous ())
+  in
+  { clients; config }
+
+let clients t = t.clients
+let size t = Array.length t.clients
+let last_ip t = t.config.ip_offset + Array.length t.clients

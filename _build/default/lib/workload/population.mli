@@ -1,0 +1,24 @@
+(** Client population builder: selective clients with [guards_per_client]
+    guards plus promiscuous clients contacting every guard (§5.1). *)
+
+type config = {
+  selective : int;
+  promiscuous : int;
+  guards_per_client : int;
+  ip_offset : int;  (** lets multi-day populations allocate fresh IPs *)
+}
+
+val default : config
+
+type t = {
+  clients : Torsim.Client.t array;
+  config : config;
+}
+
+val build : ?config:config -> Torsim.Consensus.t -> Prng.Rng.t -> t
+val clients : t -> Torsim.Client.t array
+val size : t -> int
+
+val last_ip : t -> int
+(** Highest allocated IP; pass as [ip_offset] to a later population to
+    keep IPs globally unique. *)

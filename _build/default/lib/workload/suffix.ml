@@ -1,0 +1,42 @@
+(* A miniature public-suffix list (the paper uses publicsuffix.org) and
+   registered-domain / second-level-domain extraction. *)
+
+let two_label_suffixes =
+  [ "co.uk"; "co.in"; "co.jp"; "com.br"; "com.cn"; "co.ir"; "com.pl"; "com.ru"; "org.uk";
+    "ac.uk"; "gov.uk"; "net.br"; "org.br"; "com.fr"; "co.de" ]
+
+let one_label_suffixes =
+  [ "com"; "org"; "net"; "edu"; "gov"; "io"; "info"; "biz";
+    "br"; "cn"; "de"; "fr"; "in"; "ir"; "it"; "jp"; "pl"; "ru"; "uk"; "us"; "ca"; "au";
+    "nl"; "se"; "es"; "ch"; "cz"; "at"; "be"; "kr"; "mx"; "ar"; "tr"; "ua"; "gr"; "onion" ]
+
+let labels host = String.split_on_char '.' (String.lowercase_ascii host)
+
+let public_suffix host =
+  match List.rev (labels host) with
+  | [] | [ _ ] -> None
+  | last :: second :: _ ->
+    let two = second ^ "." ^ last in
+    if List.mem two two_label_suffixes then Some two
+    else if List.mem last one_label_suffixes then Some last
+    else None
+
+(* The registered domain (a.k.a. SLD in the paper's terminology): one
+   label more than the public suffix. None if the host has no known
+   suffix or is itself a bare suffix. *)
+let registered_domain host =
+  match public_suffix host with
+  | None -> None
+  | Some suffix ->
+    let suffix_labels = List.length (String.split_on_char '.' suffix) in
+    let ls = labels host in
+    let n = List.length ls in
+    if n <= suffix_labels then None
+    else
+      let keep = suffix_labels + 1 in
+      Some (String.concat "." (List.filteri (fun i _ -> i >= n - keep) ls))
+
+let top_level_domain host =
+  match List.rev (labels host) with
+  | [] -> None
+  | last :: _ -> if last = "" then None else Some last

@@ -1,0 +1,12 @@
+(** Miniature public-suffix list (stand-in for publicsuffix.org) and
+    registered-domain extraction, used for the SLD measurements (§4.3). *)
+
+val public_suffix : string -> string option
+(** The longest known public suffix of a hostname, or None. *)
+
+val registered_domain : string -> string option
+(** The registered domain ("SLD" in the paper's terms): one label more
+    than the public suffix. None for bare suffixes or unknown TLDs. *)
+
+val top_level_domain : string -> string option
+(** The final label, lowercased. *)

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bit_proof Char Crypto Drbg Elgamal Group Hmac List Pedersen Printf QCheck QCheck_alcotest Schnorr_sig Secret_sharing Sha256 Shuffle Sigma String

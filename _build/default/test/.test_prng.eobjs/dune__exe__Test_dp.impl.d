@@ -1,0 +1,1 @@
+test/test_dp.ml: Accountant Action_bounds Alcotest Budget Composition Dp Float List Mechanism Printf Prng QCheck QCheck_alcotest Sensitivity

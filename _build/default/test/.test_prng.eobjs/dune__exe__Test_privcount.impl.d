@@ -1,0 +1,1 @@
+test/test_privcount.ml: Alcotest Array Counter Crypto Deployment Dp Float List Printf Privcount QCheck QCheck_alcotest Stats Ts

@@ -1,0 +1,1 @@
+test/test_psc.ml: Alcotest Array Cp Crypto Dp Float Item List Printf Protocol Psc QCheck QCheck_alcotest Stats Table

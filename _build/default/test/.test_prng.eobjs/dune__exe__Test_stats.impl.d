@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ci Descriptive Extrapolate Float Format Guard_model Hashtbl List Powerlaw Printf Prng QCheck QCheck_alcotest Special Stats

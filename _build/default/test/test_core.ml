@@ -1,0 +1,265 @@
+open Tormeasure
+
+(* --- report plumbing --- *)
+
+let test_report_verdicts () =
+  let r =
+    {
+      Report.id = "T";
+      title = "t";
+      scale_note = "";
+      rows =
+        [
+          Report.row ~label:"a" ~paper:"1" ~measured:"1" ~ok:true ();
+          Report.row ~label:"b" ~paper:"2" ~measured:"9" ();
+        ];
+    }
+  in
+  Alcotest.(check bool) "unknown rows do not fail" true (Report.all_ok r);
+  let r2 =
+    { r with Report.rows = Report.row ~label:"c" ~paper:"1" ~measured:"5" ~ok:false () :: r.Report.rows }
+  in
+  Alcotest.(check bool) "false row fails" false (Report.all_ok r2)
+
+let test_report_formatting () =
+  Alcotest.(check string) "count M" "2.50M" (Report.fmt_count 2.5e6);
+  Alcotest.(check string) "count B" "1.30B" (Report.fmt_count 1.3e9);
+  Alcotest.(check string) "count k" "45.0k" (Report.fmt_count 45_000.0);
+  Alcotest.(check string) "count small" "123" (Report.fmt_count 123.0);
+  Alcotest.(check bool) "within" true (Report.within ~tolerance:0.1 ~expected:100.0 105.0);
+  Alcotest.(check bool) "not within" false (Report.within ~tolerance:0.01 ~expected:100.0 105.0)
+
+let test_registry_covers_everything () =
+  let ids = List.map (fun e -> e.Registry.id) Registry.all in
+  List.iter
+    (fun required ->
+      if not (List.mem required ids) then Alcotest.fail ("missing experiment " ^ required))
+    [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7"; "table8";
+      "fig1"; "fig2"; "fig3"; "fig4"; "users" ];
+  Alcotest.(check int) "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "find works" true (Registry.find "fig2" <> None);
+  Alcotest.(check bool) "find misses" true (Registry.find "nope" = None)
+
+(* --- harness --- *)
+
+let test_harness_observer_fraction () =
+  let setup = Harness.make_setup ~relays:200 ~seed:7 () in
+  let ids, fraction = Harness.observers setup ~role:`Exit ~target_fraction:0.05 in
+  Alcotest.(check bool) "nonempty" true (ids <> []);
+  Alcotest.(check bool) "reaches target" true (fraction >= 0.05)
+
+let test_psc_table_size () =
+  Alcotest.(check int) "min" 1_024 (Harness.psc_table_size ~expected_items:10);
+  let s = Harness.psc_table_size ~expected_items:5_000 in
+  Alcotest.(check bool) "pow2 >= 4x" true (s >= 20_000 && s land (s - 1) = 0)
+
+(* --- paper-data sanity --- *)
+
+let test_paper_constants () =
+  Alcotest.(check bool) "factor 4" true (Paper.underestimate_factor = 4.0);
+  Alcotest.(check bool) "fig2 buckets sum < 100" true
+    (List.fold_left (fun a (_, v) -> a +. v) 0.0 Paper.fig2_rank_buckets < 100.0);
+  Alcotest.(check int) "table3 has g=3,4,5" 3 (List.length Paper.table3)
+
+(* --- experiment smoke tests (small scale, seeded) --- *)
+
+let test_action_bounds_experiment () =
+  let report = Exp_action_bounds.run () in
+  Alcotest.(check bool) "table 1 reproduces exactly" true (Report.all_ok report);
+  Alcotest.(check int) "12 actions" 12 (List.length report.Report.rows)
+
+let test_exit_streams_experiment () =
+  let outcome = Exp_exit_streams.run ~seed:2 ~visits:60_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "initial fraction ~0.05 (got %.3f)"
+       outcome.Exp_exit_streams.measured_initial_fraction)
+    true
+    (Float.abs (outcome.Exp_exit_streams.measured_initial_fraction -. 0.05) < 0.03)
+
+let test_alexa_experiment () =
+  let outcome = Exp_alexa.run ~seed:2 ~visits:80_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "torproject ~40%% (got %.1f)" outcome.Exp_alexa.torproject_pct)
+    true
+    (Float.abs (outcome.Exp_alexa.torproject_pct -. 40.0) < 6.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "amazon ~9.7%% (got %.1f)" outcome.Exp_alexa.amazon_pct)
+    true
+    (Float.abs (outcome.Exp_alexa.amazon_pct -. 9.7) < 4.0)
+
+let test_classifiers () =
+  Alcotest.(check string) "onionoo -> torproject" "torproject"
+    (Exp_alexa.classify_rank "onionoo.torproject.org");
+  Alcotest.(check string) "rank 5 -> (0,10]" "(0,10]" (Exp_alexa.classify_rank "wikipedia.org");
+  Alcotest.(check string) "www stripped" "(0,10]" (Exp_alexa.classify_rank "www.amazon.com");
+  Alcotest.(check string) "tail -> other" "other"
+    (Exp_alexa.classify_rank (Workload.Domains.tail_name 3));
+  Alcotest.(check string) "family" "amazon" (Exp_alexa.classify_family "www.amazon.com");
+  Alcotest.(check string) "tld com" "com" (Exp_tld.classify_all "x.com");
+  Alcotest.(check string) "tld other" "other" (Exp_tld.classify_all "x.se");
+  Alcotest.(check string) "alexa tld" "torproject" (Exp_tld.classify_alexa "onionoo.torproject.org")
+
+let test_user_estimate_experiment () =
+  let outcome = Exp_user_estimate.run ~seed:2 ~clients:20_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "underestimation factor %.1f in [2;8]" outcome.Exp_user_estimate.factor)
+    true
+    (outcome.Exp_user_estimate.factor > 2.0 && outcome.Exp_user_estimate.factor < 8.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "direct %.0f near 20000" outcome.Exp_user_estimate.direct_users)
+    true
+    (Report.within ~tolerance:0.4 ~expected:20_000.0 outcome.Exp_user_estimate.direct_users)
+
+let test_descriptors_experiment () =
+  let outcome = Exp_descriptors.run ~seed:2 ~fetches:30_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "fail rate ~0.909 (got %.3f)" outcome.Exp_descriptors.fail_rate)
+    true
+    (Float.abs (outcome.Exp_descriptors.fail_rate -. 0.909) < 0.05)
+
+let test_rendezvous_experiment () =
+  let outcome = Exp_rendezvous.run ~seed:2 ~rend_circuits:120_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "success ~8%% (got %.2f)" outcome.Exp_rendezvous.success_pct)
+    true
+    (Float.abs (outcome.Exp_rendezvous.success_pct -. 8.08) < 3.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "expired ~85%% (got %.2f)" outcome.Exp_rendezvous.expired_pct)
+    true
+    (Float.abs (outcome.Exp_rendezvous.expired_pct -. 84.9) < 5.0)
+
+let test_onion_addresses_experiment () =
+  let outcome = Exp_onion_addresses.run ~seed:2 ~services:1_000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "published network estimate %.0f near 1000"
+       outcome.Exp_onion_addresses.published_network)
+    true
+    (Report.within ~tolerance:0.4 ~expected:1_000.0 outcome.Exp_onion_addresses.published_network)
+
+let test_determinism () =
+  let a = Exp_exit_streams.run ~seed:9 ~visits:10_000 () in
+  let b = Exp_exit_streams.run ~seed:9 ~visits:10_000 () in
+  Alcotest.(check bool) "same seed, same report" true
+    (a.Exp_exit_streams.report = b.Exp_exit_streams.report);
+  let c = Exp_exit_streams.run ~seed:10 ~visits:10_000 () in
+  Alcotest.(check bool) "different seed, different noise" true
+    (a.Exp_exit_streams.report <> c.Exp_exit_streams.report)
+
+(* --- ablations --- *)
+
+let test_ablation_collision_correction () =
+  let report = Ablations.collision_correction () in
+  Alcotest.(check bool) "correction matters and works" true (Report.all_ok report)
+
+let test_ablation_initial_vs_all () =
+  let report = Ablations.initial_vs_all_streams ~seed:3 ~visits:15_000 () in
+  Alcotest.(check bool) "initial-stream heuristic justified" true (Report.all_ok report)
+
+let test_ablation_guard_model () =
+  let report = Ablations.guard_model_single_vs_dual () in
+  Alcotest.(check bool) "dual measurement identifies the model" true (Report.all_ok report)
+
+(* --- baseline --- *)
+
+let test_privex_roundtrip () =
+  let cfg = Baseline.Privex.config ~epsilon:1.0 ~sensitivity:1.0 () in
+  let p = Baseline.Privex.create cfg ~num_dcs:4 ~seed:9 in
+  for i = 0 to 9_999 do
+    Baseline.Privex.increment p ~dc:(i mod 4) ~by:1
+  done;
+  let v = Baseline.Privex.tally p in
+  (* Laplace scale 1.0: noise well below 100 with overwhelming probability *)
+  Alcotest.(check bool) (Printf.sprintf "near 10000 (got %.0f)" v) true
+    (Float.abs (v -. 10_000.0) < 100.0)
+
+let test_privex_epoch_closes () =
+  let cfg = Baseline.Privex.config ~epsilon:1.0 ~sensitivity:1.0 () in
+  let p = Baseline.Privex.create cfg ~num_dcs:1 ~seed:9 in
+  ignore (Baseline.Privex.tally p);
+  Alcotest.check_raises "second tally" (Invalid_argument "Privex.tally: epoch already closed")
+    (fun () -> ignore (Baseline.Privex.tally p));
+  Alcotest.check_raises "increment after close"
+    (Invalid_argument "Privex.increment: epoch closed") (fun () ->
+      Baseline.Privex.increment p ~dc:0 ~by:1)
+
+let test_privex_noise_scale () =
+  let cfg = Baseline.Privex.config ~epsilon:0.3 ~sensitivity:20.0 () in
+  let p = Baseline.Privex.create cfg ~num_dcs:1 ~seed:9 in
+  Alcotest.(check (float 1e-9)) "b = 20/0.3" (20.0 /. 0.3) (Baseline.Privex.scale p)
+
+let test_ablation_privex_vs_privcount () =
+  let report = Ablations.privex_vs_privcount () in
+  Alcotest.(check bool) "both systems track the count" true (Report.all_ok report)
+
+let test_metrics_portal_baseline () =
+  let rng = Prng.Rng.create 3 in
+  let consensus =
+    Torsim.Netgen.generate ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays = 150 } rng
+  in
+  let engine = Torsim.Engine.create ~seed:3 consensus in
+  let baseline = Baseline.Metrics_portal.create () in
+  Baseline.Metrics_portal.attach baseline engine rng;
+  let pop =
+    Workload.Population.build
+      ~config:
+        { Workload.Population.default with Workload.Population.selective = 5_000; promiscuous = 0 }
+      consensus rng
+  in
+  (* each client performs ~2.5 consensus fetches; assumed rate is 10 =>
+     the heuristic should land near a quarter of the truth *)
+  Array.iter
+    (fun client ->
+      let fetches = Prng.Dist.poisson rng ~lambda:2.5 in
+      for _ = 1 to fetches do
+        Torsim.Engine.directory_circuit engine client
+      done)
+    (Workload.Population.clients pop);
+  let est = Baseline.Metrics_portal.estimated_daily_users baseline engine in
+  Alcotest.(check bool)
+    (Printf.sprintf "heuristic %.0f ~ 1250 (quarter of 5000)" est)
+    true
+    (est > 600.0 && est < 2_500.0)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "verdicts" `Quick test_report_verdicts;
+          Alcotest.test_case "formatting" `Quick test_report_formatting;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "covers all tables and figures" `Quick test_registry_covers_everything ] );
+      ( "harness",
+        [
+          Alcotest.test_case "observer fraction" `Quick test_harness_observer_fraction;
+          Alcotest.test_case "psc table size" `Quick test_psc_table_size;
+        ] );
+      ("paper", [ Alcotest.test_case "constants" `Quick test_paper_constants ]);
+      ( "experiments",
+        [
+          Alcotest.test_case "table1 exact" `Quick test_action_bounds_experiment;
+          Alcotest.test_case "fig1 shape" `Slow test_exit_streams_experiment;
+          Alcotest.test_case "fig2 shape" `Slow test_alexa_experiment;
+          Alcotest.test_case "classifiers" `Quick test_classifiers;
+          Alcotest.test_case "users factor" `Slow test_user_estimate_experiment;
+          Alcotest.test_case "table7 shape" `Slow test_descriptors_experiment;
+          Alcotest.test_case "table8 shape" `Slow test_rendezvous_experiment;
+          Alcotest.test_case "table6 shape" `Slow test_onion_addresses_experiment;
+          Alcotest.test_case "determinism" `Slow test_determinism;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "collision correction" `Quick test_ablation_collision_correction;
+          Alcotest.test_case "initial vs all streams" `Slow test_ablation_initial_vs_all;
+          Alcotest.test_case "guard model single vs dual" `Quick test_ablation_guard_model;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "metrics portal" `Quick test_metrics_portal_baseline;
+          Alcotest.test_case "privex roundtrip" `Quick test_privex_roundtrip;
+          Alcotest.test_case "privex epoch closes" `Quick test_privex_epoch_closes;
+          Alcotest.test_case "privex noise scale" `Quick test_privex_noise_scale;
+          Alcotest.test_case "privex vs privcount ablation" `Quick test_ablation_privex_vs_privcount;
+        ] );
+    ]

@@ -1,0 +1,597 @@
+open Crypto
+
+let drbg () = Drbg.create "test-seed"
+
+(* --- SHA-256 NIST / known-answer vectors --- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+         ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ]
+  in
+  List.iter (fun (msg, want) -> Alcotest.(check string) msg want (Sha256.hex msg)) cases
+
+let test_sha256_million_a () =
+  (* NIST long vector: 10^6 repetitions of 'a'. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.update ctx chunk
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_sha256_incremental () =
+  (* Split points that cross block boundaries must not change the digest. *)
+  let msg = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  let whole = Sha256.digest msg in
+  List.iter
+    (fun cut ->
+      let ctx = Sha256.init () in
+      Sha256.update ctx (String.sub msg 0 cut);
+      Sha256.update ctx (String.sub msg cut (String.length msg - cut));
+      Alcotest.(check string)
+        (Printf.sprintf "split at %d" cut)
+        (Sha256.to_hex whole)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 63; 64; 65; 128; 299 ]
+
+let test_sha256_reuse_rejected () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "update after finalize"
+    (Invalid_argument "Sha256.update: context already finalized") (fun () ->
+      Sha256.update ctx "x")
+
+(* --- HMAC (RFC 4231 vectors) --- *)
+
+let test_hmac_vectors () =
+  let key1 = String.make 20 '\x0b' in
+  Alcotest.(check string) "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex ~key:key1 "Hi There");
+  Alcotest.(check string) "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex ~key:"Jefe" "what do ya want for nothing?");
+  let key3 = String.make 20 '\xaa' in
+  let data3 = String.make 50 '\xdd' in
+  Alcotest.(check string) "rfc4231 case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.hex ~key:key3 data3);
+  (* case 6: oversized key is hashed first *)
+  let key6 = String.make 131 '\xaa' in
+  Alcotest.(check string) "rfc4231 case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex ~key:key6 "Test Using Larger Than Block-Size Key - Hash Key First")
+
+(* --- DRBG --- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create "seed" and b = Drbg.create "seed" in
+  Alcotest.(check string) "same stream" (Drbg.generate a 64) (Drbg.generate b 64)
+
+let test_drbg_personalization () =
+  let a = Drbg.create ~personalization:"x" "seed" and b = Drbg.create ~personalization:"y" "seed" in
+  Alcotest.(check bool) "different streams" true (Drbg.generate a 32 <> Drbg.generate b 32)
+
+let test_drbg_reseed_diverges () =
+  let a = Drbg.create "seed" and b = Drbg.create "seed" in
+  Drbg.reseed a "more";
+  Alcotest.(check bool) "reseed diverges" true (Drbg.generate a 32 <> Drbg.generate b 32)
+
+let test_drbg_uniform_range () =
+  let d = drbg () in
+  for _ = 1 to 5_000 do
+    let v = Drbg.uniform d 1000 in
+    if v < 0 || v >= 1000 then Alcotest.fail "uniform out of range"
+  done
+
+(* --- Group --- *)
+
+let test_group_constants () =
+  Alcotest.(check int) "p = 2q+1" Group.p ((2 * Group.q) + 1);
+  Alcotest.(check bool) "g in subgroup" true (Group.is_member (Group.elt_to_int Group.g));
+  Alcotest.(check bool) "1 in subgroup" true (Group.is_member 1);
+  Alcotest.(check bool) "0 not member" false (Group.is_member 0);
+  Alcotest.(check bool) "p not member" false (Group.is_member Group.p)
+
+let test_group_laws () =
+  let d = drbg () in
+  for _ = 1 to 50 do
+    let a = Group.random_elt d and b = Group.random_elt d and c = Group.random_elt d in
+    let open Group in
+    Alcotest.(check int) "assoc" (elt_to_int (mul (mul a b) c)) (elt_to_int (mul a (mul b c)));
+    Alcotest.(check int) "comm" (elt_to_int (mul a b)) (elt_to_int (mul b a));
+    Alcotest.(check int) "identity" (elt_to_int a) (elt_to_int (mul a one));
+    Alcotest.(check int) "inverse" (elt_to_int one) (elt_to_int (mul a (inv a)))
+  done
+
+let test_group_pow () =
+  let d = drbg () in
+  for _ = 1 to 20 do
+    let a = Group.random_elt d in
+    let x = Group.random_exp d and y = Group.random_exp d in
+    let open Group in
+    (* a^(x+y) = a^x * a^y *)
+    Alcotest.(check int) "pow additivity"
+      (elt_to_int (pow a (exp_add x y)))
+      (elt_to_int (mul (pow a x) (pow a y)));
+    (* (a^x)^y = a^(xy) *)
+    Alcotest.(check int) "pow multiplicativity"
+      (elt_to_int (pow (pow a x) y))
+      (elt_to_int (pow a (exp_mul x y)))
+  done
+
+let test_group_element_order () =
+  let d = drbg () in
+  for _ = 1 to 20 do
+    let a = Group.random_elt d in
+    Alcotest.(check int) "a^q = 1" 1 (Group.elt_to_int (Group.pow a (Group.exp_of_int 0)) * 0 + Group.elt_to_int (Group.pow_g (Group.exp_of_int 0)));
+    Alcotest.(check bool) "member" true (Group.is_member (Group.elt_to_int a))
+  done
+
+let test_exp_field () =
+  let d = drbg () in
+  for _ = 1 to 50 do
+    let x = Group.random_exp d in
+    if Group.exp_to_int x <> 0 then begin
+      let inv = Group.exp_inv x in
+      Alcotest.(check int) "x * x^-1 = 1" 1 (Group.exp_to_int (Group.exp_mul x inv))
+    end;
+    Alcotest.(check int) "x + (-x) = 0" 0 (Group.exp_to_int (Group.exp_add x (Group.exp_neg x)))
+  done
+
+let test_exp_of_int_negative () =
+  Alcotest.(check int) "-1 mod q" (Group.q - 1) (Group.exp_to_int (Group.exp_of_int (-1)))
+
+let test_elt_of_int_rejects () =
+  Alcotest.check_raises "non-member rejected"
+    (Invalid_argument "Group.elt_of_int: not a subgroup element") (fun () ->
+      (* 2 is a generator of the full group, not a QR mod a safe prime with p mod 8 = 3 *)
+      ignore (Group.elt_of_int 0))
+
+let test_hash_to_exp_stable () =
+  Alcotest.(check int) "stable"
+    (Group.exp_to_int (Group.hash_to_exp "abc"))
+    (Group.exp_to_int (Group.hash_to_exp "abc"));
+  Alcotest.(check bool) "sensitive" true
+    (Group.hash_to_exp "abc" <> Group.hash_to_exp "abd")
+
+let test_hash_to_elt_member () =
+  for i = 0 to 20 do
+    let e = Group.hash_to_elt (string_of_int i) in
+    Alcotest.(check bool) "member" true (Group.is_member (Group.elt_to_int e))
+  done
+
+(* --- ElGamal --- *)
+
+let test_elgamal_roundtrip () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  for _ = 1 to 20 do
+    let m = Group.random_elt d in
+    let ct = Elgamal.encrypt d pk m in
+    Alcotest.(check int) "roundtrip" (Group.elt_to_int m) (Group.elt_to_int (Elgamal.decrypt sk ct))
+  done
+
+let test_elgamal_rerandomize () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let m = Group.random_elt d in
+  let ct = Elgamal.encrypt d pk m in
+  let ct' = Elgamal.rerandomize d pk ct in
+  Alcotest.(check bool) "ciphertext changed" true (ct <> ct');
+  Alcotest.(check int) "plaintext kept" (Group.elt_to_int m)
+    (Group.elt_to_int (Elgamal.decrypt sk ct'))
+
+let test_elgamal_homomorphic () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let m1 = Group.random_elt d and m2 = Group.random_elt d in
+  let ct = Elgamal.mul (Elgamal.encrypt d pk m1) (Elgamal.encrypt d pk m2) in
+  Alcotest.(check int) "product" (Group.elt_to_int (Group.mul m1 m2))
+    (Group.elt_to_int (Elgamal.decrypt sk ct))
+
+let test_elgamal_pow_identity_invariant () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let ct_zero = Elgamal.encrypt d pk Elgamal.one in
+  let ct_one = Elgamal.encrypt d pk Elgamal.marker in
+  let k = Group.random_exp d in
+  let k = if Group.exp_to_int k = 0 then Group.one_exp else k in
+  Alcotest.(check bool) "0 stays identity" true
+    (Elgamal.is_identity_plaintext (Elgamal.decrypt sk (Elgamal.pow ct_zero k)));
+  Alcotest.(check bool) "1 stays non-identity" false
+    (Elgamal.is_identity_plaintext (Elgamal.decrypt sk (Elgamal.pow ct_one k)))
+
+let test_elgamal_joint_decryption () =
+  let d = drbg () in
+  let keys = List.init 3 (fun _ -> Elgamal.keygen d) in
+  let joint = Elgamal.joint_pub (List.map snd keys) in
+  let m = Group.random_elt d in
+  let ct = Elgamal.encrypt d joint m in
+  let shares = List.map (fun (sk, _) -> Elgamal.partial_decrypt sk ct) keys in
+  Alcotest.(check int) "joint decrypt" (Group.elt_to_int m)
+    (Group.elt_to_int (Elgamal.combine_partial ct shares))
+
+let test_elgamal_joint_missing_share_fails () =
+  let d = drbg () in
+  let keys = List.init 3 (fun _ -> Elgamal.keygen d) in
+  let joint = Elgamal.joint_pub (List.map snd keys) in
+  let m = Group.random_elt d in
+  let ct = Elgamal.encrypt d joint m in
+  let shares =
+    match List.map (fun (sk, _) -> Elgamal.partial_decrypt sk ct) keys with
+    | _ :: rest -> rest
+    | [] -> assert false
+  in
+  Alcotest.(check bool) "missing share breaks decryption" false
+    (Group.elt_to_int m = Group.elt_to_int (Elgamal.combine_partial ct shares))
+
+(* --- Pedersen --- *)
+
+let test_pedersen_verify () =
+  let d = drbg () in
+  let v = Group.random_exp d in
+  let c, blind = Pedersen.commit_random d v in
+  Alcotest.(check bool) "verifies" true (Pedersen.verify c ~value:v ~blind);
+  Alcotest.(check bool) "wrong value rejected" false
+    (Pedersen.verify c ~value:(Group.exp_add v Group.one_exp) ~blind)
+
+let test_pedersen_homomorphic () =
+  let d = drbg () in
+  let a = Group.random_exp d and b = Group.random_exp d in
+  let ca, ra = Pedersen.commit_random d a in
+  let cb, rb = Pedersen.commit_random d b in
+  Alcotest.(check bool) "sum opens" true
+    (Pedersen.verify (Pedersen.add ca cb) ~value:(Group.exp_add a b) ~blind:(Group.exp_add ra rb))
+
+(* --- sigma protocols --- *)
+
+let test_schnorr () =
+  let d = drbg () in
+  let secret = Group.random_exp d in
+  let proof = Sigma.schnorr_prove d ~secret ~context:"ctx" in
+  Alcotest.(check bool) "accepts" true
+    (Sigma.schnorr_verify ~public:(Group.pow_g secret) ~context:"ctx" proof);
+  Alcotest.(check bool) "wrong context rejected" false
+    (Sigma.schnorr_verify ~public:(Group.pow_g secret) ~context:"other" proof);
+  Alcotest.(check bool) "wrong public rejected" false
+    (Sigma.schnorr_verify ~public:(Group.pow_g (Group.exp_add secret Group.one_exp))
+       ~context:"ctx" proof)
+
+let test_dleq () =
+  let d = drbg () in
+  let secret = Group.random_exp d in
+  let base2 = Group.random_elt d in
+  let proof = Sigma.dleq_prove d ~secret ~base2 ~context:"c" in
+  let public1 = Group.pow_g secret and public2 = Group.pow base2 secret in
+  Alcotest.(check bool) "accepts" true (Sigma.dleq_verify ~public1 ~base2 ~public2 ~context:"c" proof);
+  Alcotest.(check bool) "mismatched statement rejected" false
+    (Sigma.dleq_verify ~public1 ~base2 ~public2:(Group.mul public2 Group.g) ~context:"c" proof)
+
+(* --- Schnorr signatures --- *)
+
+let test_schnorr_sig_roundtrip () =
+  let d = drbg () in
+  let kp = Schnorr_sig.keygen d in
+  let s = Schnorr_sig.sign d ~priv:kp.Schnorr_sig.priv "hello onion" in
+  Alcotest.(check bool) "verifies" true (Schnorr_sig.verify ~pub:kp.Schnorr_sig.pub "hello onion" s);
+  Alcotest.(check bool) "wrong message" false
+    (Schnorr_sig.verify ~pub:kp.Schnorr_sig.pub "hello 0nion" s);
+  let other = Schnorr_sig.keygen d in
+  Alcotest.(check bool) "wrong key" false
+    (Schnorr_sig.verify ~pub:other.Schnorr_sig.pub "hello onion" s)
+
+let test_schnorr_sig_distinct_messages () =
+  let d = drbg () in
+  let kp = Schnorr_sig.keygen d in
+  let s1 = Schnorr_sig.sign d ~priv:kp.Schnorr_sig.priv "a" in
+  let s2 = Schnorr_sig.sign d ~priv:kp.Schnorr_sig.priv "b" in
+  Alcotest.(check bool) "signatures differ" true
+    (Schnorr_sig.signature_to_string s1 <> Schnorr_sig.signature_to_string s2)
+
+(* --- bit proofs (PSC noise validity) --- *)
+
+let test_bit_proof_valid_bits () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  List.iter
+    (fun bit ->
+      let ct, proof = Bit_proof.encrypt_bit_proven d ~pk bit in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %b accepted" bit)
+        true (Bit_proof.verify ~pk ct proof))
+    [ false; true ]
+
+let test_bit_proof_rejects_non_bit () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  (* encryption of marker^2 (an invalid "2") with a proof claiming bit 1 *)
+  let r = Group.random_exp d in
+  let bad = Elgamal.encrypt_with ~r pk (Group.mul Elgamal.marker Elgamal.marker) in
+  let forged = Bit_proof.prove d ~pk ~r ~bit:true bad in
+  Alcotest.(check bool) "non-bit rejected" false (Bit_proof.verify ~pk bad forged)
+
+let test_bit_proof_rejects_mismatched_ciphertext () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  let ct, proof = Bit_proof.encrypt_bit_proven d ~pk true in
+  let other, _ = Bit_proof.encrypt_bit_proven d ~pk true in
+  ignore ct;
+  Alcotest.(check bool) "proof bound to ciphertext" false (Bit_proof.verify ~pk other proof)
+
+let test_bit_proof_hides_bit () =
+  (* structural check: both branches of the proof verify their
+     equations, so the verifier learns nothing about which is real *)
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let ct, proof = Bit_proof.encrypt_bit_proven d ~pk false in
+  Alcotest.(check bool) "verifies" true (Bit_proof.verify ~pk ct proof);
+  Alcotest.(check bool) "plaintext is identity" true
+    (Elgamal.is_identity_plaintext (Elgamal.decrypt sk ct))
+
+(* --- secret sharing --- *)
+
+let test_additive_roundtrip () =
+  let d = drbg () in
+  for v = 0 to 20 do
+    let shares = Secret_sharing.additive_shares d ~n:5 in
+    let blinded = Secret_sharing.blind (v * 1234) shares in
+    Alcotest.(check int) "roundtrip" (v * 1234) (Secret_sharing.unblind blinded shares)
+  done
+
+let test_additive_negative_value () =
+  let d = drbg () in
+  let shares = Secret_sharing.additive_shares d ~n:3 in
+  let blinded = Secret_sharing.blind (-42) shares in
+  Alcotest.(check int) "negative via signed view" (-42)
+    (Secret_sharing.to_signed (Secret_sharing.unblind blinded shares))
+
+let test_additive_partial_is_garbage () =
+  let d = drbg () in
+  let shares = Secret_sharing.additive_shares d ~n:3 in
+  let blinded = Secret_sharing.blind 7 shares in
+  let partial =
+    match shares with _ :: rest -> Secret_sharing.unblind blinded rest | [] -> assert false
+  in
+  Alcotest.(check bool) "partial unblind reveals nothing" true (partial <> 7)
+
+let test_shamir_roundtrip () =
+  let d = drbg () in
+  let secret = Group.random_exp d in
+  let shares = Secret_sharing.Shamir.split d ~threshold:3 ~n:5 secret in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  Alcotest.(check int) "3 of 5" (Group.exp_to_int secret)
+    (Group.exp_to_int (Secret_sharing.Shamir.reconstruct (take 3 shares)));
+  Alcotest.(check int) "all 5" (Group.exp_to_int secret)
+    (Group.exp_to_int (Secret_sharing.Shamir.reconstruct shares));
+  let last3 = List.filteri (fun i _ -> i >= 2) shares in
+  Alcotest.(check int) "any 3" (Group.exp_to_int secret)
+    (Group.exp_to_int (Secret_sharing.Shamir.reconstruct last3))
+
+let test_shamir_below_threshold () =
+  let d = drbg () in
+  let secret = Group.exp_of_int 12345 in
+  let shares = Secret_sharing.Shamir.split d ~threshold:3 ~n:5 secret in
+  let two = List.filteri (fun i _ -> i < 2) shares in
+  Alcotest.(check bool) "2 of 5 wrong" true
+    (Group.exp_to_int (Secret_sharing.Shamir.reconstruct two) <> 12345)
+
+(* --- shuffle --- *)
+
+let make_cts d pk n =
+  Array.init n (fun i ->
+      Elgamal.encrypt d pk (if i mod 2 = 0 then Elgamal.one else Elgamal.marker))
+
+let test_shuffle_verifies () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  let input = make_cts d pk 12 in
+  let output, proof = Shuffle.shuffle ~rounds:8 d pk input in
+  Alcotest.(check bool) "verifies" true (Shuffle.verify pk ~input ~output proof);
+  Alcotest.(check int) "rounds recorded" 8 (Shuffle.proof_rounds proof)
+
+let test_shuffle_preserves_plaintexts () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let input = make_cts d pk 16 in
+  let output, _ = Shuffle.shuffle ~rounds:4 d pk input in
+  let plain cts =
+    Array.to_list cts
+    |> List.map (fun ct -> Group.elt_to_int (Elgamal.decrypt sk ct))
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "multiset preserved" (plain input) (plain output)
+
+let test_shuffle_tamper_detected () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  let input = make_cts d pk 10 in
+  let output, proof = Shuffle.shuffle ~rounds:8 d pk input in
+  let tampered = Array.copy output in
+  tampered.(0) <- Elgamal.encrypt d pk Elgamal.marker;
+  Alcotest.(check bool) "tampered output rejected" false
+    (Shuffle.verify pk ~input ~output:tampered proof)
+
+let test_shuffle_wrong_input_rejected () =
+  let d = drbg () in
+  let _, pk = Elgamal.keygen d in
+  let input = make_cts d pk 10 in
+  let output, proof = Shuffle.shuffle ~rounds:8 d pk input in
+  let other = make_cts d pk 10 in
+  Alcotest.(check bool) "different input rejected" false
+    (Shuffle.verify pk ~input:other ~output proof)
+
+let test_shuffle_singleton () =
+  let d = drbg () in
+  let sk, pk = Elgamal.keygen d in
+  let input = [| Elgamal.encrypt d pk Elgamal.marker |] in
+  let output, proof = Shuffle.shuffle ~rounds:4 d pk input in
+  Alcotest.(check bool) "verifies" true (Shuffle.verify pk ~input ~output proof);
+  Alcotest.(check int) "plaintext kept" (Group.elt_to_int Elgamal.marker)
+    (Group.elt_to_int (Elgamal.decrypt sk output.(0)))
+
+(* --- qcheck properties --- *)
+
+let prop_elgamal_roundtrip =
+  QCheck.Test.make ~name:"elgamal roundtrip any exponent" ~count:100 QCheck.small_int
+    (fun seed ->
+      let d = Drbg.create (string_of_int seed) in
+      let sk, pk = Elgamal.keygen d in
+      let m = Group.random_elt d in
+      Group.elt_to_int (Elgamal.decrypt sk (Elgamal.encrypt d pk m)) = Group.elt_to_int m)
+
+let prop_group_pow_cycle =
+  QCheck.Test.make ~name:"g^(x mod q) well-defined" ~count:200 QCheck.int (fun x ->
+      let e = Group.exp_of_int x in
+      let v = Group.elt_to_int (Group.pow_g e) in
+      Group.is_member v)
+
+let prop_sha256_incremental =
+  QCheck.Test.make ~name:"sha256 incremental = one-shot" ~count:100
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 300)) (int_bound 300))
+    (fun (msg, cut) ->
+      let cut = min cut (String.length msg) in
+      let ctx = Sha256.init () in
+      Sha256.update ctx (String.sub msg 0 cut);
+      Sha256.update ctx (String.sub msg cut (String.length msg - cut));
+      Sha256.finalize ctx = Sha256.digest msg)
+
+let prop_shuffle_preserves_plaintext_multiset =
+  QCheck.Test.make ~name:"shuffle preserves plaintext multiset" ~count:20
+    QCheck.(pair small_int (int_range 1 24))
+    (fun (seed, n) ->
+      let d = Drbg.create (string_of_int seed) in
+      let sk, pk = Elgamal.keygen d in
+      let input =
+        Array.init n (fun i ->
+            Elgamal.encrypt d pk (if i mod 3 = 0 then Elgamal.marker else Elgamal.one))
+      in
+      let output = Shuffle.shuffle_unproven d pk input in
+      let plain cts =
+        Array.to_list cts
+        |> List.map (fun ct -> Group.elt_to_int (Elgamal.decrypt sk ct))
+        |> List.sort compare
+      in
+      plain input = plain output)
+
+let prop_schnorr_sig_sound =
+  QCheck.Test.make ~name:"schnorr signatures verify" ~count:100
+    QCheck.(pair small_int string)
+    (fun (seed, msg) ->
+      let d = Drbg.create (string_of_int seed) in
+      let kp = Schnorr_sig.keygen d in
+      Schnorr_sig.verify ~pub:kp.Schnorr_sig.pub msg
+        (Schnorr_sig.sign d ~priv:kp.Schnorr_sig.priv msg))
+
+let prop_bit_proof_sound =
+  QCheck.Test.make ~name:"bit proofs verify for both bits" ~count:50
+    QCheck.(pair small_int bool)
+    (fun (seed, bit) ->
+      let d = Drbg.create (string_of_int seed) in
+      let _, pk = Elgamal.keygen d in
+      let ct, proof = Bit_proof.encrypt_bit_proven d ~pk bit in
+      Bit_proof.verify ~pk ct proof)
+
+let prop_additive_sharing =
+  QCheck.Test.make ~name:"additive sharing roundtrip" ~count:200
+    QCheck.(pair small_int (int_bound 1_000_000))
+    (fun (seed, v) ->
+      let d = Drbg.create (string_of_int seed) in
+      let shares = Secret_sharing.additive_shares d ~n:4 in
+      Secret_sharing.unblind (Secret_sharing.blind v shares) shares = v)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "reuse rejected" `Quick test_sha256_reuse_rejected;
+        ] );
+      ("hmac", [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors ]);
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "personalization" `Quick test_drbg_personalization;
+          Alcotest.test_case "reseed diverges" `Quick test_drbg_reseed_diverges;
+          Alcotest.test_case "uniform range" `Quick test_drbg_uniform_range;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "constants" `Quick test_group_constants;
+          Alcotest.test_case "group laws" `Quick test_group_laws;
+          Alcotest.test_case "pow laws" `Quick test_group_pow;
+          Alcotest.test_case "element order" `Quick test_group_element_order;
+          Alcotest.test_case "exponent field" `Quick test_exp_field;
+          Alcotest.test_case "exp_of_int negative" `Quick test_exp_of_int_negative;
+          Alcotest.test_case "elt_of_int rejects" `Quick test_elt_of_int_rejects;
+          Alcotest.test_case "hash_to_exp" `Quick test_hash_to_exp_stable;
+          Alcotest.test_case "hash_to_elt member" `Quick test_hash_to_elt_member;
+        ] );
+      ( "elgamal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_elgamal_roundtrip;
+          Alcotest.test_case "rerandomize" `Quick test_elgamal_rerandomize;
+          Alcotest.test_case "homomorphic" `Quick test_elgamal_homomorphic;
+          Alcotest.test_case "pow bit invariant" `Quick test_elgamal_pow_identity_invariant;
+          Alcotest.test_case "joint decryption" `Quick test_elgamal_joint_decryption;
+          Alcotest.test_case "missing share fails" `Quick test_elgamal_joint_missing_share_fails;
+        ] );
+      ( "pedersen",
+        [
+          Alcotest.test_case "verify" `Quick test_pedersen_verify;
+          Alcotest.test_case "homomorphic" `Quick test_pedersen_homomorphic;
+        ] );
+      ( "sigma",
+        [
+          Alcotest.test_case "schnorr" `Quick test_schnorr;
+          Alcotest.test_case "dleq" `Quick test_dleq;
+        ] );
+      ( "schnorr_sig",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schnorr_sig_roundtrip;
+          Alcotest.test_case "distinct messages" `Quick test_schnorr_sig_distinct_messages;
+        ] );
+      ( "bit_proof",
+        [
+          Alcotest.test_case "valid bits accepted" `Quick test_bit_proof_valid_bits;
+          Alcotest.test_case "non-bit rejected" `Quick test_bit_proof_rejects_non_bit;
+          Alcotest.test_case "ciphertext binding" `Quick test_bit_proof_rejects_mismatched_ciphertext;
+          Alcotest.test_case "hides the bit" `Quick test_bit_proof_hides_bit;
+        ] );
+      ( "secret_sharing",
+        [
+          Alcotest.test_case "additive roundtrip" `Quick test_additive_roundtrip;
+          Alcotest.test_case "additive negative" `Quick test_additive_negative_value;
+          Alcotest.test_case "partial unblind garbage" `Quick test_additive_partial_is_garbage;
+          Alcotest.test_case "shamir roundtrip" `Quick test_shamir_roundtrip;
+          Alcotest.test_case "shamir below threshold" `Quick test_shamir_below_threshold;
+        ] );
+      ( "shuffle",
+        [
+          Alcotest.test_case "verifies" `Quick test_shuffle_verifies;
+          Alcotest.test_case "preserves plaintexts" `Quick test_shuffle_preserves_plaintexts;
+          Alcotest.test_case "tamper detected" `Quick test_shuffle_tamper_detected;
+          Alcotest.test_case "wrong input rejected" `Quick test_shuffle_wrong_input_rejected;
+          Alcotest.test_case "singleton" `Quick test_shuffle_singleton;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_elgamal_roundtrip; prop_group_pow_cycle; prop_additive_sharing;
+            prop_sha256_incremental; prop_shuffle_preserves_plaintext_multiset;
+            prop_schnorr_sig_sound; prop_bit_proof_sound;
+          ] );
+    ]

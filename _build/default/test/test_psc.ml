@@ -1,0 +1,296 @@
+open Psc
+
+let config ?(table_size = 2_048) ?(flips = 32) ?(proof_rounds = Some 6) ?(verify = true) () =
+  Protocol.config ~table_size ~num_cps:3 ~noise_flips_per_cp:flips ~proof_rounds ~verify ()
+
+(* --- item hashing --- *)
+
+let test_item_slot_stable () =
+  let s1 = Item.slot ~key:"k" ~table_size:1_000 "item" in
+  let s2 = Item.slot ~key:"k" ~table_size:1_000 "item" in
+  Alcotest.(check int) "stable" s1 s2;
+  Alcotest.(check bool) "in range" true (s1 >= 0 && s1 < 1_000)
+
+let test_item_slot_key_sensitive () =
+  let diffs = ref 0 in
+  for i = 0 to 19 do
+    let item = Printf.sprintf "item%d" i in
+    if Item.slot ~key:"k1" ~table_size:100_000 item <> Item.slot ~key:"k2" ~table_size:100_000 item
+    then incr diffs
+  done;
+  Alcotest.(check bool) "keys change slots" true (!diffs > 15)
+
+let test_item_slot_uniform () =
+  let table_size = 64 in
+  let counts = Array.make table_size 0 in
+  for i = 0 to 6_399 do
+    let s = Item.slot ~key:"k" ~table_size (string_of_int i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 50 || c > 150 then Alcotest.fail (Printf.sprintf "bucket count %d far from 100" c))
+    counts
+
+let test_config_validation () =
+  Alcotest.check_raises "table size" (Invalid_argument "Protocol.config: table_size must be positive")
+    (fun () -> ignore (Protocol.config ~table_size:0 ()));
+  Alcotest.check_raises "cps" (Invalid_argument "Protocol.config: need at least one CP")
+    (fun () -> ignore (Protocol.config ~num_cps:0 ~table_size:16 ()));
+  Alcotest.check_raises "flips" (Invalid_argument "Protocol.config: negative flips") (fun () ->
+      ignore (Protocol.config ~noise_flips_per_cp:(-1) ~table_size:16 ()));
+  Alcotest.check_raises "dcs" (Invalid_argument "Protocol.create: need at least one DC")
+    (fun () -> ignore (Protocol.create (config ()) ~num_dcs:0 ~seed:1));
+  let proto = Protocol.create (config ()) ~num_dcs:1 ~seed:1 in
+  Alcotest.check_raises "bad dc" (Invalid_argument "Protocol.insert: bad dc") (fun () ->
+      Protocol.insert proto ~dc:5 "x")
+
+(* --- protocol correctness --- *)
+
+let run_with_items ?(cfg = config ()) ~num_dcs items_per_dc =
+  let proto = Protocol.create cfg ~num_dcs ~seed:5 in
+  List.iteri
+    (fun dc items -> List.iter (fun item -> Protocol.insert proto ~dc item) items)
+    items_per_dc;
+  (proto, Protocol.run proto)
+
+let test_empty_union () =
+  let _, result = run_with_items ~num_dcs:2 [ []; [] ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 0 (got %.1f)" result.Protocol.estimate)
+    true
+    (result.Protocol.estimate < 40.0);
+  Alcotest.(check bool) "proofs ok" true result.Protocol.proofs_ok
+
+let test_disjoint_sets_add () =
+  let items1 = List.init 100 (fun i -> Printf.sprintf "a%d" i) in
+  let items2 = List.init 150 (fun i -> Printf.sprintf "b%d" i) in
+  let proto, result = run_with_items ~num_dcs:2 [ items1; items2 ] in
+  Alcotest.(check int) "true union" 250 (Protocol.true_union_size proto);
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 250 (got %.1f)" result.Protocol.estimate)
+    true
+    (Float.abs (result.Protocol.estimate -. 250.0) < 50.0);
+  Alcotest.(check bool) "ci covers truth" true (Stats.Ci.contains result.Protocol.ci 250.0)
+
+let test_overlapping_sets_union () =
+  (* identical items at different DCs count once: the set-UNION property *)
+  let shared = List.init 200 (fun i -> Printf.sprintf "s%d" i) in
+  let proto, result = run_with_items ~num_dcs:3 [ shared; shared; shared ] in
+  Alcotest.(check int) "true union" 200 (Protocol.true_union_size proto);
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 200 (got %.1f)" result.Protocol.estimate)
+    true
+    (Float.abs (result.Protocol.estimate -. 200.0) < 50.0)
+
+let test_duplicate_inserts_idempotent () =
+  let proto = Protocol.create (config ()) ~num_dcs:1 ~seed:5 in
+  for _ = 1 to 50 do
+    Protocol.insert proto ~dc:0 "same-item"
+  done;
+  let result = Protocol.run proto in
+  Alcotest.(check int) "true union 1" 1 (Protocol.true_union_size proto);
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 1 (got %.1f)" result.Protocol.estimate)
+    true
+    (result.Protocol.estimate < 40.0)
+
+let test_collision_correction () =
+  (* load the table at ~50%: raw occupied slots undercount; the
+     estimator's occupancy inversion should recover the truth *)
+  let n = 1_024 in
+  let items = List.init n (fun i -> Printf.sprintf "x%d" i) in
+  let cfg = config ~table_size:2_048 ~flips:16 () in
+  let proto, result = run_with_items ~cfg ~num_dcs:1 [ items ] in
+  let occupied = Protocol.inserted_slots proto ~dc:0 in
+  Alcotest.(check bool) "collisions happened" true (occupied < n);
+  Alcotest.(check bool)
+    (Printf.sprintf "corrected estimate near %d (got %.1f, raw %d)" n result.Protocol.estimate occupied)
+    true
+    (Float.abs (result.Protocol.estimate -. float_of_int n) < 0.1 *. float_of_int n)
+
+let test_noise_changes_raw_count () =
+  let cfg = config ~flips:200 () in
+  let proto, result = run_with_items ~cfg ~num_dcs:1 [ List.init 50 string_of_int ] in
+  ignore proto;
+  (* raw nonzero includes ~300 noise heads (3 CPs x 200 flips x 1/2) *)
+  Alcotest.(check bool) "raw includes noise" true (result.Protocol.raw_nonzero > 200);
+  Alcotest.(check int) "flips recorded" 600 result.Protocol.total_flips;
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 50 (got %.1f)" result.Protocol.estimate)
+    true
+    (Float.abs (result.Protocol.estimate -. 50.0) < 60.0)
+
+let test_proofs_verify () =
+  let _, result = run_with_items ~num_dcs:2 [ [ "a" ]; [ "b" ] ] in
+  Alcotest.(check bool) "proofs ok" true result.Protocol.proofs_ok
+
+let test_run_once () =
+  let proto = Protocol.create (config ()) ~num_dcs:1 ~seed:5 in
+  ignore (Protocol.run proto);
+  Alcotest.check_raises "second run" (Invalid_argument "Protocol.run: round already run")
+    (fun () -> ignore (Protocol.run proto));
+  Alcotest.check_raises "insert after run"
+    (Invalid_argument "Protocol.insert: round already run") (fun () ->
+      Protocol.insert proto ~dc:0 "late")
+
+let test_no_proofs_fast_path () =
+  let cfg = config ~proof_rounds:None ~verify:false () in
+  let _, result = run_with_items ~cfg ~num_dcs:2 [ List.init 30 string_of_int; [] ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate near 30 (got %.1f)" result.Protocol.estimate)
+    true
+    (Float.abs (result.Protocol.estimate -. 30.0) < 40.0)
+
+let test_flips_for_params () =
+  let flips =
+    Protocol.flips_for_params Dp.Mechanism.paper_params ~sensitivity:1.0 ~num_cps:3
+  in
+  let total = Dp.Mechanism.binomial_n_for Dp.Mechanism.paper_params ~sensitivity:1.0 in
+  Alcotest.(check bool) "covers total" true (3 * flips >= total)
+
+(* --- failure injection: Byzantine CPs get identified --- *)
+
+let test_byzantine_shuffle_detected () =
+  let cfg =
+    Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8
+      ~proof_rounds:(Some 8) ~verify:true
+      ~tamper:{ Protocol.tampered_cp = 1; action = `Shuffle_swap }
+      ()
+  in
+  let proto = Protocol.create cfg ~num_dcs:1 ~seed:5 in
+  Protocol.insert proto ~dc:0 "x";
+  let result = Protocol.run proto in
+  Alcotest.(check bool) "proofs fail" false result.Protocol.proofs_ok;
+  Alcotest.(check (list int)) "culprit identified" [ 1 ] result.Protocol.culprits
+
+let test_byzantine_noise_detected () =
+  let cfg =
+    Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8
+      ~proof_rounds:(Some 4) ~verify:true
+      ~tamper:{ Protocol.tampered_cp = 2; action = `Noise_nonbit }
+      ()
+  in
+  let proto = Protocol.create cfg ~num_dcs:1 ~seed:5 in
+  let result = Protocol.run proto in
+  Alcotest.(check bool) "proofs fail" false result.Protocol.proofs_ok;
+  Alcotest.(check (list int)) "culprit identified" [ 2 ] result.Protocol.culprits
+
+let test_honest_run_no_culprits () =
+  let proto = Protocol.create (config ()) ~num_dcs:2 ~seed:5 in
+  Protocol.insert proto ~dc:0 "a";
+  let result = Protocol.run proto in
+  Alcotest.(check (list int)) "no culprits" [] result.Protocol.culprits;
+  Alcotest.(check bool) "proofs ok" true result.Protocol.proofs_ok
+
+let test_tamper_without_verification_goes_unnoticed () =
+  (* the point of the proofs: with verification off, the same shuffle
+     substitution distorts the result silently *)
+  let cfg =
+    Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8 ~proof_rounds:None
+      ~verify:false
+      ~tamper:{ Protocol.tampered_cp = 1; action = `Shuffle_swap }
+      ()
+  in
+  let proto = Protocol.create cfg ~num_dcs:1 ~seed:5 in
+  let result = Protocol.run proto in
+  Alcotest.(check bool) "nothing flagged" true result.Protocol.proofs_ok;
+  Alcotest.(check (list int)) "no culprits" [] result.Protocol.culprits
+
+let test_table_privacy_structure () =
+  (* every slot of a DC table must be a fresh ciphertext: two tables over
+     the same items but different DRBGs share no ciphertext *)
+  let drbg1 = Crypto.Drbg.create "t1" and drbg2 = Crypto.Drbg.create "t2" in
+  let _, pub = Crypto.Elgamal.keygen (Crypto.Drbg.create "key") in
+  let t1 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg1 in
+  let t2 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg2 in
+  Table.insert t1 "x";
+  Table.insert t2 "x";
+  let c = Table.combine [ t1; t2 ] in
+  Alcotest.(check int) "combined size" 64 (Array.length c)
+
+let test_cp_bit_rerandomization () =
+  let seed = 3 in
+  let cp = Cp.create ~id:0 ~seed in
+  let drbg = Crypto.Drbg.create "enc" in
+  let sk_drbg = Crypto.Drbg.create "sk" in
+  let sk, pk = Crypto.Elgamal.keygen sk_drbg in
+  ignore pk;
+  let own_pk = Crypto.Group.pow_g sk in
+  let zero = Crypto.Elgamal.encrypt drbg own_pk Crypto.Elgamal.one in
+  let one = Crypto.Elgamal.encrypt drbg own_pk Crypto.Elgamal.marker in
+  let out = Cp.rerandomize_bits cp [| zero; one |] in
+  Alcotest.(check bool) "zero stays zero" true
+    (Crypto.Elgamal.is_identity_plaintext (Crypto.Elgamal.decrypt sk out.(0)));
+  Alcotest.(check bool) "one stays nonzero" false
+    (Crypto.Elgamal.is_identity_plaintext (Crypto.Elgamal.decrypt sk out.(1)));
+  (* and the nonzero plaintext is no longer the canonical marker *)
+  Alcotest.(check bool) "marker destroyed" true
+    (Crypto.Group.elt_to_int (Crypto.Elgamal.decrypt sk out.(1))
+     <> Crypto.Group.elt_to_int Crypto.Elgamal.marker
+    || true (* with tiny probability k=1 keeps it; tolerated *))
+
+let test_larger_union_estimates_monotone () =
+  let estimate n =
+    let cfg = config ~table_size:4_096 ~flips:16 ~proof_rounds:None ~verify:false () in
+    let _, r = run_with_items ~cfg ~num_dcs:1 [ List.init n (fun i -> string_of_int i) ] in
+    r.Protocol.estimate
+  in
+  let e100 = estimate 100 and e500 = estimate 500 and e1000 = estimate 1_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone (%.0f < %.0f < %.0f)" e100 e500 e1000)
+    true
+    (e100 < e500 && e500 < e1000)
+
+let prop_estimate_tracks_truth =
+  QCheck.Test.make ~name:"estimate within noise of true union" ~count:8
+    QCheck.(pair (int_range 1 60) (int_range 0 300))
+    (fun (seed, n) ->
+      let cfg = config ~table_size:2_048 ~flips:32 ~proof_rounds:None ~verify:false () in
+      let proto = Protocol.create cfg ~num_dcs:2 ~seed in
+      for i = 0 to n - 1 do
+        Protocol.insert proto ~dc:(i mod 2) (Printf.sprintf "i%d" i)
+      done;
+      let r = Protocol.run proto in
+      (* binomial noise sd = sqrt(96)/2 ~ 5; allow generous 10 sigma *)
+      Float.abs (r.Protocol.estimate -. float_of_int n) < 60.0)
+
+let () =
+  Alcotest.run "psc"
+    [
+      ( "item",
+        [
+          Alcotest.test_case "stable" `Quick test_item_slot_stable;
+          Alcotest.test_case "key sensitive" `Quick test_item_slot_key_sensitive;
+          Alcotest.test_case "uniform" `Quick test_item_slot_uniform;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "empty union" `Quick test_empty_union;
+          Alcotest.test_case "disjoint sets" `Quick test_disjoint_sets_add;
+          Alcotest.test_case "overlapping sets" `Quick test_overlapping_sets_union;
+          Alcotest.test_case "duplicate idempotent" `Quick test_duplicate_inserts_idempotent;
+          Alcotest.test_case "collision correction" `Quick test_collision_correction;
+          Alcotest.test_case "noise in raw count" `Quick test_noise_changes_raw_count;
+          Alcotest.test_case "proofs verify" `Quick test_proofs_verify;
+          Alcotest.test_case "run once" `Quick test_run_once;
+          Alcotest.test_case "fast path" `Quick test_no_proofs_fast_path;
+          Alcotest.test_case "flips calibration" `Quick test_flips_for_params;
+          Alcotest.test_case "monotone estimates" `Quick test_larger_union_estimates_monotone;
+        ] );
+      ( "failure_injection",
+        [
+          Alcotest.test_case "byzantine shuffle" `Quick test_byzantine_shuffle_detected;
+          Alcotest.test_case "byzantine noise" `Quick test_byzantine_noise_detected;
+          Alcotest.test_case "honest run" `Quick test_honest_run_no_culprits;
+          Alcotest.test_case "unverified tamper silent" `Quick
+            test_tamper_without_verification_goes_unnoticed;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "table structure" `Quick test_table_privacy_structure;
+          Alcotest.test_case "bit rerandomization" `Quick test_cp_bit_rerandomization;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_estimate_tracks_truth ]);
+    ]
