@@ -1,0 +1,19 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# what CI runs
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_*.json

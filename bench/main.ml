@@ -6,7 +6,10 @@
 
    Part 2 — performance: one Bechamel micro-benchmark per table/figure,
    timing the computational kernel each experiment leans on, plus the
-   cryptographic primitives. *)
+   cryptographic primitives. Each kernel is timed with telemetry
+   disabled, then run once more with telemetry enabled to capture a
+   metrics snapshot; everything lands in BENCH_<unix-ts>.json so the
+   perf trajectory is machine-readable run over run. *)
 
 open Bechamel
 open Toolkit
@@ -41,122 +44,113 @@ let psc_proto () =
        ~proof_rounds:None ~verify:false ())
     ~num_dcs:2 ~seed:9
 
-(* --- one kernel per table/figure --- *)
+(* --- one kernel per table/figure, as (name, thunk) so the same thunk
+   feeds both the Bechamel timing run and the telemetry snapshot --- *)
 
-let bench_table1 =
-  Test.make ~name:"table1/action-bound-derivation"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun a -> ignore (Dp.Action_bounds.bound_value a))
-           Dp.Action_bounds.all_actions))
+let kernel_table1 =
+  ( "table1/action-bound-derivation",
+    fun () ->
+      List.iter (fun a -> ignore (Dp.Action_bounds.bound_value a)) Dp.Action_bounds.all_actions )
 
-let bench_fig1 =
-  Test.make ~name:"fig1/exit-visit-simulation"
-    (Staged.stage (fun () ->
-         let engine = Lazy.force small_engine in
-         Torsim.Engine.exit_visit engine (sample_client ())
-           ~dest:(Torsim.Event.Hostname "example.com") ~port:443 ~subsequent_streams:19
-           ~bytes:1_000_000.0 ()))
+let kernel_fig1 =
+  ( "fig1/exit-visit-simulation",
+    fun () ->
+      let engine = Lazy.force small_engine in
+      Torsim.Engine.exit_visit engine (sample_client ())
+        ~dest:(Torsim.Event.Hostname "example.com") ~port:443 ~subsequent_streams:19
+        ~bytes:1_000_000.0 () )
 
-let bench_fig2 =
-  Test.make ~name:"fig2/primary-domain-classification"
-    (Staged.stage (fun () ->
-         ignore (Tormeasure.Exp_alexa.classify_rank "www.amazon.com");
-         ignore (Tormeasure.Exp_alexa.classify_rank "onionoo.torproject.org");
-         ignore (Tormeasure.Exp_alexa.classify_rank "s123456.com");
-         ignore (Tormeasure.Exp_alexa.classify_family "svc7.google.com")))
+let kernel_fig2 =
+  ( "fig2/primary-domain-classification",
+    fun () ->
+      ignore (Tormeasure.Exp_alexa.classify_rank "www.amazon.com");
+      ignore (Tormeasure.Exp_alexa.classify_rank "onionoo.torproject.org");
+      ignore (Tormeasure.Exp_alexa.classify_rank "s123456.com");
+      ignore (Tormeasure.Exp_alexa.classify_family "svc7.google.com") )
 
-let bench_fig3 =
-  Test.make ~name:"fig3/tld-classification"
-    (Staged.stage (fun () ->
-         ignore (Tormeasure.Exp_tld.classify_all "s99.co.uk");
-         ignore (Tormeasure.Exp_tld.classify_alexa "www.s99.ru")))
+let kernel_fig3 =
+  ( "fig3/tld-classification",
+    fun () ->
+      ignore (Tormeasure.Exp_tld.classify_all "s99.co.uk");
+      ignore (Tormeasure.Exp_tld.classify_alexa "www.s99.ru") )
 
-let bench_table2 =
-  Test.make ~name:"table2/psc-insert"
-    (let proto = psc_proto () in
-     let i = ref 0 in
-     Staged.stage (fun () ->
-         incr i;
-         Psc.Protocol.insert proto ~dc:0 (Printf.sprintf "sld%d.com" (!i land 1023))))
+let kernel_table2 =
+  let proto = psc_proto () in
+  let i = ref 0 in
+  ( "table2/psc-insert",
+    fun () ->
+      incr i;
+      Psc.Protocol.insert proto ~dc:0 (Printf.sprintf "sld%d.com" (!i land 1023)) )
 
-let bench_table3 =
-  Test.make ~name:"table3/guard-model-fit"
-    (Staged.stage (fun () ->
-         let m1 =
-           { Stats.Guard_model.fraction = 0.0042; count_ci = Stats.Ci.make 1_400.0 1_600.0 }
-         in
-         let m2 =
-           { Stats.Guard_model.fraction = 0.0088; count_ci = Stats.Ci.make 2_900.0 3_200.0 }
-         in
-         ignore (Stats.Guard_model.fit_promiscuous m1 m2 ~g:3 ~steps:100 ())))
+let kernel_table3 =
+  ( "table3/guard-model-fit",
+    fun () ->
+      let m1 = { Stats.Guard_model.fraction = 0.0042; count_ci = Stats.Ci.make 1_400.0 1_600.0 } in
+      let m2 = { Stats.Guard_model.fraction = 0.0088; count_ci = Stats.Ci.make 2_900.0 3_200.0 } in
+      ignore (Stats.Guard_model.fit_promiscuous m1 m2 ~g:3 ~steps:100 ()) )
 
-let bench_table4 =
-  Test.make ~name:"table4/client-day-simulation"
-    (Staged.stage (fun () ->
-         Workload.Behavior.run_client_day (Lazy.force small_engine) Workload.Behavior.default
-           (sample_client ()) fixture_rng))
+let kernel_table4 =
+  ( "table4/client-day-simulation",
+    fun () ->
+      Workload.Behavior.run_client_day (Lazy.force small_engine) Workload.Behavior.default
+        (sample_client ()) fixture_rng )
 
-let bench_table5 =
-  Test.make ~name:"table5/psc-pipeline-1k"
-    (Staged.stage (fun () ->
-         let proto = psc_proto () in
-         for i = 0 to 99 do
-           Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "ip:%d" i)
-         done;
-         ignore (Psc.Protocol.run proto)))
+let kernel_table5 =
+  ( "table5/psc-pipeline-1k",
+    fun () ->
+      let proto = psc_proto () in
+      for i = 0 to 99 do
+        Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "ip:%d" i)
+      done;
+      ignore (Psc.Protocol.run proto) )
 
-let bench_fig4 =
-  Test.make ~name:"fig4/geo-sampling"
-    (Staged.stage (fun () -> ignore (Workload.Geo.sample fixture_rng)))
+let kernel_fig4 = ("fig4/geo-sampling", fun () -> ignore (Workload.Geo.sample fixture_rng))
 
-let bench_table6 =
-  Test.make ~name:"table6/hsdir-ring-lookup"
-    (let ring = Torsim.Engine.hsdir_ring (Lazy.force small_engine) in
-     let i = ref 0 in
-     Staged.stage (fun () ->
-         incr i;
-         ignore (Torsim.Hsdir_ring.responsible ring (Torsim.Onion.bogus_address !i))))
+let kernel_table6 =
+  let i = ref 0 in
+  ( "table6/hsdir-ring-lookup",
+    fun () ->
+      let ring = Torsim.Engine.hsdir_ring (Lazy.force small_engine) in
+      incr i;
+      ignore (Torsim.Hsdir_ring.responsible ring (Torsim.Onion.bogus_address !i)) )
 
-let bench_table7 =
-  Test.make ~name:"table7/descriptor-fetch-simulation"
-    (Staged.stage (fun () ->
-         let engine = Lazy.force small_engine in
-         Torsim.Engine.fetch_descriptor engine ~address:(Torsim.Onion.bogus_address 42)))
+let kernel_table7 =
+  ( "table7/descriptor-fetch-simulation",
+    fun () ->
+      let engine = Lazy.force small_engine in
+      Torsim.Engine.fetch_descriptor engine ~address:(Torsim.Onion.bogus_address 42) )
 
-let bench_table8 =
-  Test.make ~name:"table8/rendezvous-simulation"
-    (Staged.stage (fun () ->
-         Torsim.Engine.rendezvous (Lazy.force small_engine)
-           ~outcome:(Torsim.Event.Rend_success { cells = 1_500 })))
+let kernel_table8 =
+  ( "table8/rendezvous-simulation",
+    fun () ->
+      Torsim.Engine.rendezvous (Lazy.force small_engine)
+        ~outcome:(Torsim.Event.Rend_success { cells = 1_500 }) )
 
-let bench_users =
-  Test.make ~name:"users/metrics-portal-estimate"
-    (let baseline = Baseline.Metrics_portal.create () in
-     Staged.stage (fun () ->
-         ignore
-           (Baseline.Metrics_portal.estimated_daily_users baseline (Lazy.force small_engine))))
+let kernel_users =
+  let baseline = Baseline.Metrics_portal.create () in
+  ( "users/metrics-portal-estimate",
+    fun () ->
+      ignore (Baseline.Metrics_portal.estimated_daily_users baseline (Lazy.force small_engine)) )
 
 (* --- cryptographic primitives --- *)
 
-let bench_sha256 =
-  Test.make ~name:"crypto/sha256-1KiB"
-    (let block = String.make 1_024 'x' in
-     Staged.stage (fun () -> ignore (Crypto.Sha256.digest block)))
+let kernel_sha256 =
+  let block = String.make 1_024 'x' in
+  ("crypto/sha256-1KiB", fun () -> ignore (Crypto.Sha256.digest block))
 
-let bench_elgamal =
-  Test.make ~name:"crypto/elgamal-encrypt"
-    (Staged.stage (fun () ->
-         let _, pk = Lazy.force elgamal_key in
-         ignore (Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.marker)))
+let kernel_elgamal =
+  ( "crypto/elgamal-encrypt",
+    fun () ->
+      let _, pk = Lazy.force elgamal_key in
+      ignore (Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.marker) )
 
-let bench_shuffle =
-  Test.make ~name:"crypto/shuffle-64-proven"
-    (let _, pk = Lazy.force elgamal_key in
-     let cts =
-       Array.init 64 (fun _ -> Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.one)
-     in
-     Staged.stage (fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:4 fixture_drbg pk cts)))
+let shuffle_cts () =
+  let _, pk = Lazy.force elgamal_key in
+  (pk, Array.init 64 (fun _ -> Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.one))
+
+let kernel_shuffle =
+  let pk, cts = shuffle_cts () in
+  ("crypto/shuffle-64-proven", fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:4 fixture_drbg pk cts))
 
 (* cost scaling in the number of computation parties: each CP adds a
    shuffle + rerandomize + decrypt pass over the vector *)
@@ -172,54 +166,91 @@ let psc_with_cps num_cps =
   done;
   ignore (Psc.Protocol.run proto)
 
-let bench_psc_2cps =
-  Test.make ~name:"scaling/psc-512-slots-2cps" (Staged.stage (fun () -> psc_with_cps 2))
+let kernel_psc_2cps = ("scaling/psc-512-slots-2cps", fun () -> psc_with_cps 2)
+let kernel_psc_5cps = ("scaling/psc-512-slots-5cps", fun () -> psc_with_cps 5)
 
-let bench_psc_5cps =
-  Test.make ~name:"scaling/psc-512-slots-5cps" (Staged.stage (fun () -> psc_with_cps 5))
+let kernel_shuffle_proof_rounds =
+  let pk, cts = shuffle_cts () in
+  ( "scaling/shuffle-64-rounds16",
+    fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:16 fixture_drbg pk cts) )
 
-let bench_shuffle_proof_rounds =
-  Test.make ~name:"scaling/shuffle-64-rounds16"
-    (let _, pk = Lazy.force elgamal_key in
-     let cts =
-       Array.init 64 (fun _ -> Crypto.Elgamal.encrypt fixture_drbg pk Crypto.Elgamal.one)
-     in
-     Staged.stage (fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:16 fixture_drbg pk cts)))
+let kernel_gaussian =
+  ( "dp/gaussian-mechanism",
+    fun () ->
+      ignore
+        (Dp.Mechanism.gaussian_mechanism fixture_rng Dp.Mechanism.paper_params ~sensitivity:20.0
+           1_000.0) )
 
-let bench_gaussian =
-  Test.make ~name:"dp/gaussian-mechanism"
-    (Staged.stage (fun () ->
-         ignore
-           (Dp.Mechanism.gaussian_mechanism fixture_rng Dp.Mechanism.paper_params
-              ~sensitivity:20.0 1_000.0)))
-
-let all_benches =
+let all_kernels =
   [
-    bench_table1; bench_fig1; bench_fig2; bench_fig3; bench_table2; bench_table3; bench_table4;
-    bench_table5; bench_fig4; bench_table6; bench_table7; bench_table8; bench_users;
-    bench_sha256; bench_elgamal; bench_shuffle; bench_gaussian; bench_psc_2cps; bench_psc_5cps;
-    bench_shuffle_proof_rounds;
+    kernel_table1; kernel_fig1; kernel_fig2; kernel_fig3; kernel_table2; kernel_table3;
+    kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
+    kernel_users; kernel_sha256; kernel_elgamal; kernel_shuffle; kernel_gaussian;
+    kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds;
   ]
+
+(* One post-timing run with telemetry on: what did this kernel touch?
+   The timed loop itself runs with telemetry off, so the ns/run numbers
+   never include instrumentation overhead. *)
+let kernel_snapshot fn =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let snapshot =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_enabled false;
+        Obs.reset ())
+      (fun () ->
+        fn ();
+        Obs.Metrics.snapshot ())
+  in
+  snapshot
 
 let run_perf () =
   Printf.printf "\n=== Part 2: Bechamel micro-benchmarks (one kernel per table/figure) ===\n%!";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:1_000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
-  in
-  List.iter
-    (fun test ->
+  let cfg = Benchmark.cfg ~limit:1_000 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  List.map
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ns_per_run = ref None in
       Hashtbl.iter
-        (fun name raw ->
+        (fun printed_name raw ->
           match Analyze.OLS.estimates (Analyze.one ols instance raw) with
-          | Some [ ns ] -> Printf.printf "  %-40s %12.1f ns/run\n%!" name ns
-          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
-        results)
-    all_benches
+          | Some [ ns ] ->
+            ns_per_run := Some ns;
+            Printf.printf "  %-40s %12.1f ns/run\n%!" printed_name ns
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" printed_name)
+        results;
+      (name, !ns_per_run, kernel_snapshot fn))
+    all_kernels
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_bench_json results =
+  let path = Printf.sprintf "BENCH_%d.json" (int_of_float (Unix.time ())) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"timestamp\": %d,\n" (int_of_float (Unix.time ())));
+  Buffer.add_string b "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns, snapshot) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s, \"metrics\": %s}%s\n"
+           (json_escape name)
+           (match ns with None -> "null" | Some ns -> Printf.sprintf "%.1f" ns)
+           (Obs.Export.snapshot_json snapshot)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Obs.Export.write_file path (Buffer.contents b);
+  Printf.printf "\nwrote machine-readable results to %s\n%!" path
 
 let run_reproduction seed =
   Printf.printf "=== Part 1: reproduction of every table and figure ===\n%!";
@@ -238,5 +269,8 @@ let () =
   let repro_only = List.mem "--repro-only" args in
   let seed = 1 in
   if not perf_only then run_reproduction seed;
-  if not repro_only then run_perf ();
+  if not repro_only then begin
+    let results = run_perf () in
+    write_bench_json results
+  end;
   if not (perf_only || repro_only) then run_ablations ()

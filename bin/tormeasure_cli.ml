@@ -27,6 +27,40 @@ let csv_arg =
   let doc = "Also write the rows as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+(* --- telemetry plumbing --- *)
+
+let metrics_arg =
+  let doc = "Write a Prometheus-format metrics exposition to $(docv) (enables telemetry)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Write the tracing spans as JSON lines to $(docv) (enables telemetry)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_start ~metrics ~trace = if metrics <> None || trace <> None then Obs.set_enabled true
+
+(* Export what the run recorded and print the end-of-run summary. *)
+let obs_finish ~metrics ~trace =
+  if Obs.enabled () then begin
+    let samples = Obs.Metrics.snapshot () in
+    let spans = Obs.Trace.spans () in
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      Obs.Export.write_file path (Obs.Export.prometheus samples);
+      Printf.printf "wrote metrics to %s\n" path);
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Obs.Export.write_file path (Obs.Export.trace_jsonl spans);
+      Printf.printf "wrote %d trace spans to %s%s\n" (List.length spans) path
+        (match Obs.Trace.dropped () with
+        | 0 -> ""
+        | d -> Printf.sprintf " (%d dropped at capacity)" d));
+    print_newline ();
+    print_string (Obs.Export.summary samples spans)
+  end
+
 let write_csv path reports =
   match path with
   | None -> ()
@@ -41,19 +75,21 @@ let run_cmd =
     let doc = "Experiment id (see $(b,list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id seed csv =
+  let run id seed csv metrics trace =
     match Tormeasure.Registry.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try `tormeasure list`\n" id;
       exit 1
     | Some e ->
-      let report = e.Tormeasure.Registry.run ~seed in
+      obs_start ~metrics ~trace;
+      let report = Tormeasure.Registry.run_experiment e ~seed in
       Tormeasure.Report.print report;
       write_csv csv [ report ];
+      obs_finish ~metrics ~trace;
       if not (Tormeasure.Report.all_ok report) then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print paper-vs-measured rows")
-    Term.(const run $ id_arg $ seed_arg $ csv_arg)
+    Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg)
 
 let ablations_cmd =
   let run () = List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ()) in
@@ -61,17 +97,21 @@ let ablations_cmd =
     Term.(const run $ const ())
 
 let run_all_cmd =
-  let run seed csv =
+  let run seed csv metrics trace =
+    obs_start ~metrics ~trace;
     let reports = Tormeasure.Registry.run_all ~seed () in
     write_csv csv reports;
     let failed = List.filter (fun r -> not (Tormeasure.Report.all_ok r)) reports in
     Printf.printf "\n%d/%d experiments fully within shape tolerances\n"
       (List.length reports - List.length failed)
       (List.length reports);
-    List.iter (fun r -> Printf.printf "  shape deviations in %s\n" r.Tormeasure.Report.id) failed
+    List.iter (fun r -> Printf.printf "  shape deviations in %s\n" r.Tormeasure.Report.id) failed;
+    obs_finish ~metrics ~trace;
+    (* exit 2 on deviations, like `run` *)
+    if failed <> [] then exit 2
   in
   Cmd.v (Cmd.info "run-all" ~doc:"Run every table and figure")
-    Term.(const run $ seed_arg $ csv_arg)
+    Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg)
 
 let () =
   let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in

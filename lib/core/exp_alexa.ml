@@ -43,8 +43,11 @@ let classify_family host =
   | None -> "other"
 
 (* One PrivCount histogram measurement over the primary domains of a
-   fresh day of exit traffic. *)
-let measure ~seed ~visits ~bins ~classify =
+   fresh day of exit traffic. With [psc_unique], a PSC round counting
+   the unique primary domains rides along on the same simulated traffic
+   — a cardinality cross-check of the histogram's support (reported as
+   a diagnostic row; the paper sized its tables the same way, §4.2). *)
+let measure ?(psc_unique = false) ~seed ~visits ~bins ~classify () =
   let setup = Harness.make_setup ~seed () in
   let observer_ids, fraction = Harness.observers setup ~role:`Exit ~target_fraction:0.022 in
   let sensitivity = max 1.0 (20.0 *. (float_of_int visits /. 1.0e8)) in
@@ -64,6 +67,32 @@ let measure ~seed ~visits ~bins ~classify =
     | _ -> []
   in
   Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  let psc_proto =
+    if not psc_unique then None
+    else begin
+      let expected_observed = max 1_024 (int_of_float (float_of_int visits *. fraction)) in
+      let cfg =
+        Psc.Protocol.config
+          ~table_size:(Harness.psc_table_size ~expected_items:expected_observed)
+          ~num_cps:3
+          ~noise_flips_per_cp:
+            (Psc.Protocol.flips_for_params Dp.Mechanism.paper_params ~sensitivity:1.0 ~num_cps:3)
+          ~proof_rounds:None ~verify:false ()
+      in
+      let proto = Psc.Protocol.create cfg ~num_dcs:(List.length observer_ids) ~seed in
+      Harness.attach_psc setup proto ~observer_ids ~items:(fun event ->
+          match event with
+          | Torsim.Event.Exit_stream
+              { kind = Torsim.Event.Initial; dest = Torsim.Event.Hostname h; port }
+            when Torsim.Event.is_web_port port -> (
+            let stripped = strip_www h in
+            match Workload.Suffix.registered_domain stripped with
+            | Some d -> [ d ]
+            | None -> [ stripped ])
+          | _ -> []);
+      Some proto
+    end
+  in
   let population =
     Workload.Population.build
       ~config:{ Workload.Population.default with Workload.Population.selective = 1_000; promiscuous = 0 }
@@ -74,6 +103,13 @@ let measure ~seed ~visits ~bins ~classify =
   in
   Workload.Exit_traffic.run ~config setup.Harness.engine population setup.Harness.rng ~visits;
   let results = Privcount.Deployment.tally deployment in
+  let psc_unique_domains =
+    Option.map
+      (fun proto ->
+        let truth = Psc.Protocol.true_union_size proto in
+        (Psc.Protocol.run proto, truth))
+      psc_proto
+  in
   let values =
     List.map
       (fun bin ->
@@ -82,18 +118,21 @@ let measure ~seed ~visits ~bins ~classify =
       bins
   in
   let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 values in
-  (List.map (fun (bin, v) -> (bin, 100.0 *. v /. total)) values, fraction)
+  (List.map (fun (bin, v) -> (bin, 100.0 *. v /. total)) values, fraction, psc_unique_domains)
 
 let run ?(seed = 43) ?(visits = 150_000) () =
-  (* measurement 1: rank buckets *)
+  (* measurement 1: rank buckets, with the PSC unique-domains round
+     riding along on the same traffic *)
   let rank_bins = List.map snd rank_buckets @ [ "torproject"; "other" ] in
-  let rank_pcts, fraction1 = measure ~seed ~visits ~bins:rank_bins ~classify:classify_rank in
+  let rank_pcts, fraction1, psc_unique =
+    measure ~psc_unique:true ~seed ~visits ~bins:rank_bins ~classify:classify_rank ()
+  in
   (* measurement 2: sibling families *)
   let families =
     Workload.Domains.top10_basenames @ [ "duckduckgo"; "torproject"; "other" ]
   in
-  let family_pcts, _fraction2 =
-    measure ~seed:(seed + 1) ~visits ~bins:families ~classify:classify_family
+  let family_pcts, _fraction2, _ =
+    measure ~seed:(seed + 1) ~visits ~bins:families ~classify:classify_family ()
   in
   let pct bins name = Option.value ~default:0.0 (List.assoc_opt name bins) in
   let torproject_pct = pct rank_pcts "torproject" in
@@ -121,6 +160,16 @@ let run ?(seed = 43) ?(visits = 150_000) () =
           ())
       Paper.fig2_siblings
   in
+  (* cardinality cross-check rides along as a diagnostic (no shape
+     verdict: the paper reports no unique-primary-domain count) *)
+  let psc_rows =
+    match psc_unique with
+    | None -> []
+    | Some (r, truth) ->
+      [ Report.row ~label:"unique primary domains (PSC)" ~paper:"(not reported)"
+          ~measured:(Report.fmt_count_ci r.Psc.Protocol.estimate r.Psc.Protocol.ci)
+          ~truth:(string_of_int truth) () ]
+  in
   let rows =
     Report.row ~label:"torproject.org (rank msmt)"
       ~paper:(Printf.sprintf "%.1f%%" Paper.fig2_torproject_rank_pct)
@@ -137,7 +186,7 @@ let run ?(seed = 43) ?(visits = 150_000) () =
          ~measured:(Printf.sprintf "%.1f%%" alexa_coverage_pct)
          ~ok:(Float.abs (alexa_coverage_pct -. (100.0 *. Paper.fig2_alexa_coverage)) < 7.0)
          ()
-    :: (bucket_rows @ family_rows)
+    :: (bucket_rows @ family_rows @ psc_rows)
   in
   ignore google_pct;
   {

@@ -8,6 +8,9 @@ type setup = {
 }
 
 let make_setup ?(relays = 600) ~seed () =
+  Obs.Trace.with_span "harness.setup"
+    ~attrs:[ ("relays", string_of_int relays); ("seed", string_of_int seed) ]
+  @@ fun () ->
   let net_rng = Prng.Rng.create (seed * 13 + 1) in
   let consensus =
     Torsim.Netgen.generate ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays } net_rng
@@ -28,6 +31,17 @@ let observers setup ~role ~target_fraction =
     | `Guard -> Torsim.Consensus.guard_fraction setup.consensus ids
     | `Middle -> Torsim.Consensus.middle_fraction setup.consensus ids
   in
+  if Obs.enabled () then begin
+    let role_label =
+      match role with `Exit -> "exit" | `Guard -> "guard" | `Middle -> "middle"
+    in
+    Obs.Metrics.set
+      (Obs.Metrics.labeled "harness_observers" [ ("role", role_label) ])
+      (float_of_int (List.length ids));
+    Obs.Metrics.set
+      (Obs.Metrics.labeled "harness_observer_weight_fraction" [ ("role", role_label) ])
+      fraction
+  end;
   (ids, fraction)
 
 (* Attach a PrivCount deployment: one DC per observer relay; [mapping]

@@ -92,10 +92,33 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* Instrumented entry point shared by the CLI and [run_all]: one span
+   per experiment plus wall-time / peak-heap / event-total metrics. *)
+let run_experiment e ~seed =
+  if not (Obs.enabled ()) then e.run ~seed
+  else
+    Obs.Trace.with_span ("experiment." ^ e.id) ~attrs:[ ("paper_id", e.paper_id) ]
+    @@ fun () ->
+    let wall0 = Obs.Trace.now () in
+    let events0 =
+      Option.value ~default:0.0 (Obs.Metrics.counter_value "torsim_events_dispatched_total")
+    in
+    let report = e.run ~seed in
+    let events1 =
+      Option.value ~default:0.0 (Obs.Metrics.counter_value "torsim_events_dispatched_total")
+    in
+    let labeled name = Obs.Metrics.labeled name [ ("id", e.id) ] in
+    Obs.Metrics.set (labeled "experiment_wall_seconds") (Obs.Trace.now () -. wall0);
+    Obs.Metrics.set (labeled "experiment_peak_heap_words")
+      (float_of_int (Gc.quick_stat ()).Gc.top_heap_words);
+    Obs.Metrics.set (labeled "experiment_events_dispatched") (events1 -. events0);
+    Obs.Metrics.inc "experiments_run_total";
+    report
+
 let run_all ?(seed = 1) () =
   List.map
     (fun e ->
-      let report = e.run ~seed in
+      let report = run_experiment e ~seed in
       Report.print report;
       report)
     all

@@ -12,5 +12,10 @@ val all : experiment list
 
 val find : string -> experiment option
 
+val run_experiment : experiment -> seed:int -> Report.t
+(** Run one experiment through the telemetry wrapper: a per-experiment
+    tracing span plus wall-time, peak-heap and event-total metrics when
+    telemetry is enabled (plain [run] otherwise). *)
+
 val run_all : ?seed:int -> unit -> Report.t list
 (** Run and print every experiment, in paper order. *)

@@ -48,6 +48,11 @@ let register t ~start_hour ~duration_hours ~system ~statistic ~params =
                   statistic t.min_gap_hours))
       end)
     t.records;
+  let system_label = match system with PrivCount -> "privcount" | PSC -> "psc" in
+  Obs.Metrics.inc (Obs.Metrics.labeled "dp_schedule_publications_total" [ ("system", system_label) ]);
+  Obs.Metrics.inc_float
+    (Obs.Metrics.labeled "dp_schedule_epsilon_total" [ ("system", system_label) ])
+    params.Mechanism.epsilon;
   t.records <- r :: t.records
 
 let total_spend t = Budget.compose (List.map (fun r -> r.params) t.records)

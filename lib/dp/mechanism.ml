@@ -15,9 +15,13 @@ let gaussian_noise rng ~sigma = Prng.Dist.normal rng ~mu:0.0 ~sigma
 
 let gaussian_mechanism rng params ~sensitivity value =
   let sigma = gaussian_sigma params ~sensitivity in
+  Obs.Metrics.inc "dp_calls_total{mechanism=\"gaussian\"}";
+  Obs.Metrics.inc_float "dp_epsilon_spent_total{mechanism=\"gaussian\"}" params.epsilon;
   (value +. gaussian_noise rng ~sigma, sigma)
 
-let binomial_flips rng ~n = Prng.Dist.binomial rng ~n ~p:0.5
+let binomial_flips rng ~n =
+  Obs.Metrics.inc "dp_calls_total{mechanism=\"binomial\"}";
+  Prng.Dist.binomial rng ~n ~p:0.5
 
 let binomial_n_for params ~sensitivity =
   check params;
@@ -40,6 +44,8 @@ let laplace_noise rng ~scale =
 
 let laplace_mechanism rng ~epsilon ~sensitivity value =
   let scale = laplace_scale ~epsilon ~sensitivity in
+  Obs.Metrics.inc "dp_calls_total{mechanism=\"laplace\"}";
+  Obs.Metrics.inc_float "dp_epsilon_spent_total{mechanism=\"laplace\"}" epsilon;
   (value +. laplace_noise rng ~scale, scale)
 
 let epsilon_consumed ~sigma ~sensitivity ~delta =

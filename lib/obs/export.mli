@@ -1,0 +1,23 @@
+(** Exporters for the telemetry subsystem. All output is deterministic
+    for a given registry / span-buffer state. *)
+
+val prometheus : Metrics.sample list -> string
+(** Prometheus text exposition: [# TYPE] lines plus one sample line per
+    counter/gauge, and [_bucket]/[_sum]/[_count] lines per histogram. *)
+
+val trace_jsonl : Trace.span list -> string
+(** One JSON object per line:
+    [{"id":..,"parent":..,"depth":..,"name":..,"start_s":..,
+      "duration_s":..,"alloc_bytes":..,"attrs":{..}}]. *)
+
+val span_json : Trace.span -> string
+
+val snapshot_json : Metrics.sample list -> string
+(** Flat JSON object (counters/gauges as numbers, histograms as
+    [{"sum":..,"count":..}]) — used by the bench harness. *)
+
+val summary : Metrics.sample list -> Trace.span list -> string
+(** Human-readable end-of-run table: spans aggregated by name (count,
+    total/mean wall ms, allocation) followed by every metric. *)
+
+val write_file : string -> string -> unit

@@ -1,0 +1,202 @@
+(* Process-wide metrics registry: monotonic counters, gauges, and
+   fixed-bucket histograms with quantile estimates. All operations are
+   name-based and no-ops while telemetry is disabled, so a disabled run
+   leaves the registry empty (no residue). Metric names follow the
+   Prometheus convention; [labeled] builds the `name{k="v"}` form. *)
+
+type histogram = {
+  bounds : float array;  (* strictly increasing bucket upper bounds *)
+  counts : int array;    (* length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type value = Counter of float ref | Gauge of float ref | Histogram of histogram
+
+let registry : (string, value) Hashtbl.t = Hashtbl.create 64
+
+let reset () = Hashtbl.reset registry
+
+(* --- label helper --- *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label v);
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+(* --- counters --- *)
+
+let counter_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a counter" name)
+  | None ->
+    let c = ref 0.0 in
+    Hashtbl.replace registry name (Counter c);
+    c
+
+let inc_float name by =
+  if !Control.on then begin
+    if by < 0.0 then invalid_arg (Printf.sprintf "Metrics.inc_float %s: counters are monotonic" name);
+    let c = counter_ref name in
+    c := !c +. by
+  end
+
+let inc ?(by = 1) name =
+  if !Control.on then begin
+    if by < 0 then invalid_arg (Printf.sprintf "Metrics.inc %s: counters are monotonic" name);
+    let c = counter_ref name in
+    c := !c +. float_of_int by
+  end
+
+(* --- gauges --- *)
+
+let gauge_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a gauge" name)
+  | None ->
+    let g = ref 0.0 in
+    Hashtbl.replace registry name (Gauge g);
+    g
+
+let set name v = if !Control.on then gauge_ref name := v
+
+(* --- histograms --- *)
+
+(* Default buckets suit the two things we histogram: seconds and small
+   counts. Exponential from 1us to ~100s. *)
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 30.0; 100.0 |]
+
+let linear_buckets ~start ~width ~count =
+  if count <= 0 || width <= 0.0 then invalid_arg "Metrics.linear_buckets";
+  Array.init count (fun i -> start +. (width *. float_of_int i))
+
+let exponential_buckets ~start ~factor ~count =
+  if count <= 0 || start <= 0.0 || factor <= 1.0 then invalid_arg "Metrics.exponential_buckets";
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+let validate_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics: empty histogram buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && bounds.(i - 1) >= b then invalid_arg "Metrics: buckets not increasing")
+    bounds
+
+let histogram_ref ?buckets name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a histogram" name)
+  | None ->
+    let bounds = match buckets with None -> default_buckets | Some b -> b in
+    validate_bounds bounds;
+    let h =
+      { bounds = Array.copy bounds; counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.0; total = 0 }
+    in
+    Hashtbl.replace registry name (Histogram h);
+    h
+
+let bucket_index bounds v =
+  (* first bucket whose upper bound is >= v; length bounds = overflow *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?buckets name v =
+  if !Control.on then begin
+    let h = histogram_ref ?buckets name in
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.total <- h.total + 1
+  end
+
+(* Quantile estimate by linear interpolation inside the covering bucket;
+   assumes non-negative observations (the first bucket interpolates from
+   0). Overflow observations clamp to the last finite bound. *)
+let histogram_quantile h q =
+  if h.total = 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.total in
+    let n = Array.length h.bounds in
+    let rec go i cum =
+      if i > n then Some h.bounds.(n - 1)
+      else
+        let c = h.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if cum' >= rank && c > 0 then
+          if i >= n then Some h.bounds.(n - 1)
+          else
+            let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+            let hi = h.bounds.(i) in
+            let frac = (rank -. cum) /. float_of_int c in
+            Some (lo +. ((hi -. lo) *. frac))
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+  end
+
+(* --- read side --- *)
+
+type observed =
+  | Counter_sample of float
+  | Gauge_sample of float
+  | Histogram_sample of { bounds : float array; counts : int array; sum : float; total : int }
+
+type sample = { name : string; value : observed }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name v acc ->
+      let value =
+        match v with
+        | Counter c -> Counter_sample !c
+        | Gauge g -> Gauge_sample !g
+        | Histogram h ->
+          Histogram_sample
+            { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
+              sum = h.sum; total = h.total }
+      in
+      { name; value } :: acc)
+    registry []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let size () = Hashtbl.length registry
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (Counter c) -> Some !c | _ -> None
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with Some (Gauge g) -> Some !g | _ -> None
+
+let quantile name q =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> histogram_quantile h q
+  | _ -> None

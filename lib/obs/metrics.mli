@@ -1,0 +1,53 @@
+(** Process-wide metrics registry: monotonic counters, gauges, and
+    fixed-bucket histograms with quantile estimates. Every operation is
+    a no-op while telemetry is disabled (see {!Control}), and a
+    disabled run leaves the registry empty. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled "x_total" [("kind","data")]] is [{x_total{kind="data"}}],
+    the Prometheus label form; values are escaped. *)
+
+val inc : ?by:int -> string -> unit
+(** Bump a monotonic counter (creates it on first use). Raises
+    [Invalid_argument] on negative [by] or a name already used by a
+    different metric type. *)
+
+val inc_float : string -> float -> unit
+(** Counter bump with a float amount (e.g. seconds, bytes). *)
+
+val set : string -> float -> unit
+(** Set a gauge. *)
+
+val observe : ?buckets:float array -> string -> float -> unit
+(** Record a histogram observation; [buckets] (strictly increasing
+    upper bounds) are fixed by the first observation, an implicit
+    overflow bucket catches the rest. *)
+
+val default_buckets : float array
+val linear_buckets : start:float -> width:float -> count:int -> float array
+val exponential_buckets : start:float -> factor:float -> count:int -> float array
+
+(** {2 Read side} *)
+
+type observed =
+  | Counter_sample of float
+  | Gauge_sample of float
+  | Histogram_sample of { bounds : float array; counts : int array; sum : float; total : int }
+
+type sample = { name : string; value : observed }
+
+val snapshot : unit -> sample list
+(** Every registered metric, sorted by name (deterministic). *)
+
+val size : unit -> int
+(** Number of registered metrics (0 after [reset] or a disabled run). *)
+
+val counter_value : string -> float option
+val gauge_value : string -> float option
+
+val quantile : string -> float -> float option
+(** Quantile estimate by linear interpolation within the covering
+    bucket; [None] for unknown/empty histograms. Assumes non-negative
+    observations; overflow clamps to the last bound. *)
+
+val reset : unit -> unit

@@ -1,0 +1,16 @@
+(* Telemetry subsystem: a process-wide metrics registry, nested tracing
+   spans, and exporters. Everything is off by default; recording entry
+   points check one global flag, so instrumented hot paths cost a load
+   and a branch when telemetry is disabled and leave no residue. *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Export = Export
+
+let enabled = Control.enabled
+let set_enabled = Control.set_enabled
+let with_enabled = Control.with_enabled
+
+let reset () =
+  Metrics.reset ();
+  Trace.reset ()

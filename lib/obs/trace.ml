@@ -1,0 +1,81 @@
+(* Lightweight nested tracing spans. A span records wall clock (via
+   Unix.gettimeofday), the Gc allocation delta (children included), its
+   nesting depth/parent, and user attributes. Spans are kept in an
+   in-process buffer for export at end of run; a capacity cap bounds
+   memory on event-heavy runs (drops are counted, nesting bookkeeping
+   keeps working). With telemetry disabled, [with_span] is just a call
+   to the thunk. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  depth : int;  (* 0 = root *)
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;      (* Unix epoch seconds at entry *)
+  duration_s : float;
+  alloc_bytes : float;  (* Gc.allocated_bytes delta, children included *)
+}
+
+type frame = {
+  fid : int;
+  fname : string;
+  mutable fattrs : (string * string) list;
+  fstart : float;
+  falloc : float;
+  fdepth : int;
+  fparent : int option;
+}
+
+let next_id = ref 0
+let stack : frame list ref = ref []
+let finished : span list ref = ref []  (* reverse completion order *)
+let finished_count = ref 0
+let capacity = ref 100_000
+let dropped_count = ref 0
+
+let now () = Unix.gettimeofday ()
+
+let with_span ?(attrs = []) name f =
+  if not !Control.on then f ()
+  else begin
+    incr next_id;
+    let fparent, fdepth =
+      match !stack with [] -> (None, 0) | fr :: _ -> (Some fr.fid, fr.fdepth + 1)
+    in
+    let fr =
+      { fid = !next_id; fname = name; fattrs = attrs; fstart = now ();
+        falloc = Gc.allocated_bytes (); fdepth; fparent }
+    in
+    stack := fr :: !stack;
+    Fun.protect f ~finally:(fun () ->
+        (match !stack with
+        | top :: tl when top.fid = fr.fid -> stack := tl
+        | _ -> () (* unbalanced reset mid-span; drop quietly *));
+        if !finished_count < !capacity then begin
+          finished :=
+            { id = fr.fid; parent = fr.fparent; depth = fr.fdepth; name = fr.fname;
+              attrs = List.rev fr.fattrs; start_s = fr.fstart;
+              duration_s = now () -. fr.fstart;
+              alloc_bytes = Gc.allocated_bytes () -. fr.falloc }
+            :: !finished;
+          incr finished_count
+        end
+        else incr dropped_count)
+  end
+
+let add_attr k v =
+  if !Control.on then
+    match !stack with [] -> () | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
+
+let spans () = List.rev !finished
+let count () = !finished_count
+let dropped () = !dropped_count
+let set_capacity n = if n < 0 then invalid_arg "Trace.set_capacity" else capacity := n
+
+let reset () =
+  next_id := 0;
+  stack := [];
+  finished := [];
+  finished_count := 0;
+  dropped_count := 0

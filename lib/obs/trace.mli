@@ -1,0 +1,41 @@
+(** Lightweight nested tracing spans: wall clock, Gc allocation delta,
+    nesting, and user attributes, buffered in-process for end-of-run
+    export. [with_span] reduces to a plain call while telemetry is
+    disabled. *)
+
+type span = {
+  id : int;
+  parent : int option;  (** enclosing span, [None] for roots *)
+  depth : int;          (** 0 = root *)
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;      (** Unix epoch seconds at entry *)
+  duration_s : float;
+  alloc_bytes : float;  (** Gc.allocated_bytes delta, children included *)
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. The span is recorded even when the
+    thunk raises (the exception is re-raised). *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span (no-op outside any
+    span or when disabled). *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], re-exported so instrumented libraries need no
+    direct unix dependency. *)
+
+val spans : unit -> span list
+(** Finished spans in completion order. *)
+
+val count : unit -> int
+
+val dropped : unit -> int
+(** Spans discarded because the buffer hit its capacity. *)
+
+val set_capacity : int -> unit
+(** Cap the span buffer (default 100_000); excess spans are counted in
+    [dropped] rather than kept. *)
+
+val reset : unit -> unit

@@ -26,6 +26,13 @@ let total_sigma cfg spec =
 
 let create ?noise_weights cfg ~num_dcs ~seed =
   if num_dcs < 1 then invalid_arg "Deployment.create: need at least one DC";
+  Obs.Trace.with_span "privcount.setup"
+    ~attrs:
+      [ ("dcs", string_of_int num_dcs); ("sks", string_of_int cfg.num_sks);
+        ("counters", string_of_int (List.length cfg.specs)) ]
+  @@ fun () ->
+  Obs.Metrics.inc "privcount_rounds_total";
+  Obs.Metrics.inc_float "dp_epsilon_allocated_total{system=\"privcount\"}" cfg.params.Dp.Mechanism.epsilon;
   let sks = Array.init cfg.num_sks (fun id -> Sk.create ~id) in
   (* Pairwise blinding: DC d and SK k derive identical per-counter
      shares from a shared seed (standing in for PrivCount's encrypted
@@ -59,6 +66,7 @@ let create ?noise_weights cfg ~num_dcs ~seed =
             (Array.mapi
                (fun sk drbg ->
                  let share = Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus in
+                 Obs.Metrics.inc "privcount_blinding_shares_total";
                  Sk.absorb sks.(sk) ~dc:id ~counter share;
                  share)
                drbgs)
@@ -72,6 +80,7 @@ let num_dcs t = Array.length t.dcs
 
 let increment t ~dc ~name ~by =
   if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.increment: bad dc";
+  Obs.Metrics.inc "privcount_increments_total";
   Dc.increment t.dcs.(dc) ~name ~by
 
 let handler t ~dc mapping =
@@ -85,6 +94,12 @@ let tally ?(dropped_dcs = []) t =
     (fun dc ->
       if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.tally: bad dropped dc")
     dropped_dcs;
+  Obs.Trace.with_span "privcount.tally"
+    ~attrs:
+      [ ("dcs", string_of_int (Array.length t.dcs));
+        ("counters", string_of_int (List.length t.cfg.specs));
+        ("dropped", string_of_int (List.length dropped_dcs)) ]
+  @@ fun () ->
   t.tallied <- true;
   (* Dropout recovery: a crashed relay never reports, and the SKs
      exclude exactly its blinding shares so the rest still cancels. Its

@@ -64,6 +64,7 @@ let create cfg ~num_dcs ~seed =
 let insert t ~dc item =
   if t.finished then invalid_arg "Protocol.insert: round already run";
   if dc < 0 || dc >= Array.length t.tables then invalid_arg "Protocol.insert: bad dc";
+  Obs.Metrics.inc "psc_inserts_total";
   Table.insert t.tables.(dc) item;
   if not (Hashtbl.mem t.inserted.(dc) item) then Hashtbl.replace t.inserted.(dc) item ()
 
@@ -91,8 +92,38 @@ type result = {
   culprits : int list;
 }
 
+(* Telemetry on the table state at round close: occupancy and the hash
+   collision rate the estimator has to invert (computed from simulator
+   ground truth, only when telemetry is on). *)
+let record_table_metrics t =
+  if Obs.enabled () then begin
+    let distinct = true_union_size t in
+    let slots = Hashtbl.create 1_024 in
+    Array.iter
+      (fun inserted ->
+        Hashtbl.iter
+          (fun item () ->
+            Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
+          inserted)
+      t.inserted;
+    let occupied = Hashtbl.length slots in
+    Obs.Metrics.set "psc_table_slots" (float_of_int t.cfg.table_size);
+    Obs.Metrics.set "psc_table_occupied_slots" (float_of_int occupied);
+    Obs.Metrics.set "psc_distinct_items" (float_of_int distinct);
+    Obs.Metrics.set "psc_collision_rate"
+      (if distinct = 0 then 0.0
+       else float_of_int (distinct - occupied) /. float_of_int distinct)
+  end
+
 let run t =
   if t.finished then invalid_arg "Protocol.run: round already run";
+  record_table_metrics t;
+  Obs.Trace.with_span "psc.run"
+    ~attrs:
+      [ ("table_size", string_of_int t.cfg.table_size);
+        ("cps", string_of_int (Array.length t.cps));
+        ("dcs", string_of_int (Array.length t.tables)) ]
+  @@ fun () ->
   t.finished <- true;
   let culprits = ref [] in
   let blame cp_id = if not (List.mem cp_id !culprits) then culprits := cp_id :: !culprits in
@@ -102,11 +133,16 @@ let run t =
     | None -> false
   in
   (* 1. combine the DCs' tables into the encrypted union *)
-  let combined = Table.combine (Array.to_list t.tables) in
+  let combined =
+    Obs.Trace.with_span "psc.combine" (fun () -> Table.combine (Array.to_list t.tables))
+  in
   (* 2. every CP appends its encrypted noise bits; with verification on,
      each slot carries a disjunctive bit-validity proof checked here *)
   let tamper_drbg = Crypto.Drbg.create "psc-tamper" in
   let with_noise =
+    Obs.Trace.with_span "psc.noise"
+      ~attrs:[ ("flips_per_cp", string_of_int t.cfg.noise_flips_per_cp) ]
+    @@ fun () ->
     Array.fold_left
       (fun vector cp ->
         let slots =
@@ -143,7 +179,11 @@ let run t =
   let shuffled =
     Array.fold_left
       (fun vector cp ->
-        let output, proof = Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector in
+        let cp_attr = [ ("cp", string_of_int (Cp.id cp)) ] in
+        let output, proof =
+          Obs.Trace.with_span "psc.shuffle" ~attrs:cp_attr (fun () ->
+              Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector)
+        in
         let output =
           if tampering cp `Shuffle_swap && Array.length output > 0 then begin
             (* a Byzantine CP substitutes a slot mid-shuffle *)
@@ -159,34 +199,44 @@ let run t =
             blame (Cp.id cp)
         | true, None when t.cfg.proof_rounds <> None -> blame (Cp.id cp)
         | _ -> ());
-        Cp.rerandomize_bits cp output)
+        Obs.Trace.with_span "psc.rerandomize" ~attrs:cp_attr (fun () ->
+            Cp.rerandomize_bits cp output))
       with_noise t.cps
   in
   (* 4. joint verifiable decryption *)
-  let shares = Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps in
-  if t.cfg.verify then
-    Array.iter2
-      (fun cp share ->
-        if not (Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share) then
-          blame (Cp.id cp))
-      t.cps shares;
   let raw_nonzero = ref 0 in
-  Array.iteri
-    (fun i ct ->
-      let partials = Array.to_list (Array.map (fun s -> s.Cp.shares.(i)) shares) in
-      let plain = Crypto.Elgamal.combine_partial ct partials in
-      if not (Crypto.Elgamal.is_identity_plaintext plain) then incr raw_nonzero)
-    shuffled;
+  Obs.Trace.with_span "psc.decrypt" (fun () ->
+      let shares =
+        Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps
+      in
+      if t.cfg.verify then
+        Array.iter2
+          (fun cp share ->
+            if not (Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share) then
+              blame (Cp.id cp))
+          t.cps shares;
+      Array.iteri
+        (fun i ct ->
+          let partials = Array.to_list (Array.map (fun s -> s.Cp.shares.(i)) shares) in
+          let plain = Crypto.Elgamal.combine_partial ct partials in
+          if not (Crypto.Elgamal.is_identity_plaintext plain) then incr raw_nonzero)
+        shuffled);
   (* 5. estimate: subtract the noise mean, invert the occupancy bias *)
-  let occupied = float_of_int !raw_nonzero -. (float_of_int total_flips /. 2.0) in
-  let estimate =
-    Stats.Ci.invert_occupancy ~table_size:t.cfg.table_size
-      (max 0.0 (min occupied (float_of_int t.cfg.table_size -. 1.0)))
+  let estimate, ci =
+    Obs.Trace.with_span "psc.estimate" @@ fun () ->
+    let occupied = float_of_int !raw_nonzero -. (float_of_int total_flips /. 2.0) in
+    let estimate =
+      Stats.Ci.invert_occupancy ~table_size:t.cfg.table_size
+        (max 0.0 (min occupied (float_of_int t.cfg.table_size -. 1.0)))
+    in
+    let ci =
+      Stats.Ci.binomial_exact ~confidence:t.cfg.confidence ~observed:!raw_nonzero
+        ~flips:total_flips ~table_size:t.cfg.table_size ()
+    in
+    (estimate, ci)
   in
-  let ci =
-    Stats.Ci.binomial_exact ~confidence:t.cfg.confidence ~observed:!raw_nonzero
-      ~flips:total_flips ~table_size:t.cfg.table_size ()
-  in
+  Obs.Metrics.set "psc_raw_nonzero_slots" (float_of_int !raw_nonzero);
+  Obs.Metrics.set "psc_noise_flips" (float_of_int total_flips);
   {
     raw_nonzero = !raw_nonzero;
     total_flips;

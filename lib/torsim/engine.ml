@@ -6,6 +6,7 @@ type t = {
   mutable any_sinks : bool;
   ring : Hsdir_ring.t;
   onions : Onion.t;
+  mutable dispatched : int;  (* events delivered to sinks, for span sampling *)
 }
 
 let create ?(seed = 1) consensus =
@@ -17,6 +18,7 @@ let create ?(seed = 1) consensus =
     any_sinks = false;
     ring = Hsdir_ring.create (Consensus.hsdir_ids consensus);
     onions = Onion.create ();
+    dispatched = 0;
   }
 
 let consensus t = t.consensus
@@ -35,10 +37,44 @@ let clear_sinks t =
   Array.fill t.sinks 0 (Array.length t.sinks) [];
   t.any_sinks <- false
 
+(* Telemetry: per-kind event counters use literal names so the enabled
+   path allocates nothing for labels. *)
+let event_metric = function
+  | Event.Client_connection _ -> "torsim_events_total{kind=\"client_connection\"}"
+  | Event.Client_circuit _ -> "torsim_events_total{kind=\"client_circuit\"}"
+  | Event.Entry_bytes _ -> "torsim_events_total{kind=\"entry_bytes\"}"
+  | Event.Directory_request _ -> "torsim_events_total{kind=\"directory_request\"}"
+  | Event.Exit_stream _ -> "torsim_events_total{kind=\"exit_stream\"}"
+  | Event.Exit_bytes _ -> "torsim_events_total{kind=\"exit_bytes\"}"
+  | Event.Descriptor_published _ -> "torsim_events_total{kind=\"descriptor_published\"}"
+  | Event.Descriptor_fetch _ -> "torsim_events_total{kind=\"descriptor_fetch\"}"
+  | Event.Rendezvous_circuit _ -> "torsim_events_total{kind=\"rendezvous_circuit\"}"
+
+(* One traced span per [dispatch_sample_every] dispatches keeps traces
+   bounded on event-heavy runs; the seconds counter still sees every
+   dispatch. *)
+let dispatch_sample_every = 256
+
 let emit t relay_id event =
   match t.sinks.(relay_id) with
   | [] -> ()
-  | sinks -> List.iter (fun sink -> sink event) sinks
+  | sinks ->
+    let dispatch () = List.iter (fun sink -> sink event) sinks in
+    if not (Obs.enabled ()) then dispatch ()
+    else begin
+      Obs.Metrics.inc (event_metric event);
+      Obs.Metrics.inc "torsim_events_dispatched_total";
+      t.dispatched <- t.dispatched + 1;
+      let t0 = Obs.Trace.now () in
+      if t.dispatched mod dispatch_sample_every = 1 then
+        Obs.Trace.with_span "engine.dispatch"
+          ~attrs:
+            [ ("kind", Event.describe event);
+              ("sampled", "1/" ^ string_of_int dispatch_sample_every) ]
+          dispatch
+      else dispatch ();
+      Obs.Metrics.inc_float "torsim_dispatch_seconds_total" (Obs.Trace.now () -. t0)
+    end
 
 (* --- client side --- *)
 
@@ -49,6 +85,7 @@ let observe_client t client =
   Ground_truth.mark tr.Ground_truth.unique_asns client.Client.asn
 
 let connect_via t client guard =
+  Obs.Metrics.inc "torsim_connections_total";
   let tr = t.truth in
   tr.Ground_truth.connections <- tr.Ground_truth.connections + 1;
   observe_client t client;
@@ -65,8 +102,11 @@ let connect_all_guards t client =
 let circuit_via t client guard kind =
   let tr = t.truth in
   (match kind with
-  | Event.Data_circuit -> tr.Ground_truth.data_circuits <- tr.Ground_truth.data_circuits + 1
+  | Event.Data_circuit ->
+    Obs.Metrics.inc "torsim_circuits_total{kind=\"data\"}";
+    tr.Ground_truth.data_circuits <- tr.Ground_truth.data_circuits + 1
   | Event.Directory_circuit ->
+    Obs.Metrics.inc "torsim_circuits_total{kind=\"directory\"}";
     tr.Ground_truth.directory_circuits <- tr.Ground_truth.directory_circuits + 1);
   Ground_truth.bump_int tr.Ground_truth.per_country_circuits client.Client.country;
   emit t guard
@@ -82,6 +122,7 @@ let directory_circuit t client =
   emit t guard (Event.Directory_request { client_ip = client.Client.ip })
 
 let entry_bytes t client bytes =
+  Obs.Metrics.inc_float "torsim_entry_bytes_total" bytes;
   let tr = t.truth in
   tr.Ground_truth.entry_bytes <- tr.Ground_truth.entry_bytes +. bytes;
   Ground_truth.bump_float tr.Ground_truth.per_country_bytes client.Client.country bytes;
@@ -96,8 +137,9 @@ let record_stream t ~kind ~dest ~port =
   let tr = t.truth in
   tr.Ground_truth.streams_total <- tr.Ground_truth.streams_total + 1;
   match kind with
-  | Event.Subsequent -> ()
+  | Event.Subsequent -> Obs.Metrics.inc "torsim_streams_total{kind=\"subsequent\"}"
   | Event.Initial ->
+    Obs.Metrics.inc "torsim_streams_total{kind=\"initial\"}";
     tr.Ground_truth.streams_initial <- tr.Ground_truth.streams_initial + 1;
     (match dest with
     | Event.Hostname h ->
@@ -123,6 +165,7 @@ let exit_visit t client ~dest ~port ~subsequent_streams ?subsequent_dest ~bytes 
     record_stream t ~kind:Event.Subsequent ~dest ~port;
     emit t exit (Event.Exit_stream { kind = Event.Subsequent; dest; port })
   done;
+  Obs.Metrics.inc_float "torsim_exit_bytes_total" bytes;
   t.truth.Ground_truth.exit_bytes <- t.truth.Ground_truth.exit_bytes +. bytes;
   emit t exit (Event.Exit_bytes { bytes });
   entry_bytes t client bytes
@@ -186,8 +229,10 @@ let fetch_malformed t =
 let rendezvous t ~outcome =
   let tr = t.truth in
   tr.Ground_truth.rend_circuits <- tr.Ground_truth.rend_circuits + 1;
+  Obs.Metrics.inc "torsim_rend_circuits_total";
   (match outcome with
   | Event.Rend_success { cells } ->
+    Obs.Metrics.inc ~by:cells "torsim_rend_cells_total";
     tr.Ground_truth.rend_success <- tr.Ground_truth.rend_success + 1;
     tr.Ground_truth.rend_cells <- tr.Ground_truth.rend_cells + cells
   | Event.Rend_closed -> tr.Ground_truth.rend_closed <- tr.Ground_truth.rend_closed + 1

@@ -1,0 +1,233 @@
+(* Tests for the telemetry subsystem: metric semantics, quantile
+   estimates on known distributions, span nesting, exporter output, and
+   the zero-residue contract of disabled mode. *)
+
+let with_obs f =
+  Obs.reset ();
+  Fun.protect ~finally:Obs.reset (fun () -> Obs.with_enabled true f)
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- metrics --- *)
+
+let test_counter_semantics () =
+  with_obs (fun () ->
+      Obs.Metrics.inc "c_total";
+      Obs.Metrics.inc ~by:4 "c_total";
+      Obs.Metrics.inc_float "c_total" 0.5;
+      Alcotest.(check (option (float 1e-9))) "accumulates" (Some 5.5)
+        (Obs.Metrics.counter_value "c_total");
+      Alcotest.check_raises "monotonic"
+        (Invalid_argument "Metrics.inc c_total: counters are monotonic") (fun () ->
+          Obs.Metrics.inc ~by:(-1) "c_total");
+      Alcotest.check_raises "type clash"
+        (Invalid_argument "Metrics: c_total is not a gauge") (fun () ->
+          Obs.Metrics.set "c_total" 1.0))
+
+let test_gauge_semantics () =
+  with_obs (fun () ->
+      Obs.Metrics.set "g" 3.0;
+      Obs.Metrics.set "g" (-2.5);
+      Alcotest.(check (option (float 1e-9))) "last write wins" (Some (-2.5))
+        (Obs.Metrics.gauge_value "g"))
+
+let test_histogram_semantics () =
+  with_obs (fun () ->
+      let buckets = [| 1.0; 2.0; 5.0 |] in
+      List.iter (Obs.Metrics.observe ~buckets "h") [ 0.5; 1.0; 1.5; 4.0; 100.0 ];
+      match Obs.Metrics.snapshot () with
+      | [ { Obs.Metrics.name = "h";
+            value = Obs.Metrics.Histogram_sample { counts; sum; total; bounds = _ } } ] ->
+        Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |] counts;
+        Alcotest.(check int) "total" 5 total;
+        Alcotest.(check (float 1e-9)) "sum" 107.0 sum
+      | _ -> Alcotest.fail "expected exactly one histogram sample")
+
+let test_quantiles_known_distribution () =
+  with_obs (fun () ->
+      (* 1000 uniform draws over (0,100] against 10 linear buckets: the
+         interpolated quantiles must sit close to the exact ones *)
+      let buckets = Obs.Metrics.linear_buckets ~start:10.0 ~width:10.0 ~count:10 in
+      for i = 1 to 1_000 do
+        Obs.Metrics.observe ~buckets "u" (float_of_int i /. 10.0)
+      done;
+      let q x = Option.get (Obs.Metrics.quantile "u" x) in
+      Alcotest.(check bool) "p50 ~ 50" true (Float.abs (q 0.5 -. 50.0) < 1.0);
+      Alcotest.(check bool) "p90 ~ 90" true (Float.abs (q 0.9 -. 90.0) < 1.0);
+      Alcotest.(check bool) "p99 ~ 99" true (Float.abs (q 0.99 -. 99.0) < 1.5);
+      (* a point mass lands inside its covering bucket *)
+      Obs.Metrics.observe ~buckets:[| 1.0; 2.0 |] "point" 1.5;
+      let p = Option.get (Obs.Metrics.quantile "point" 0.5) in
+      Alcotest.(check bool) "point mass in bucket" true (p > 1.0 && p <= 2.0);
+      Alcotest.(check (option (float 0.0))) "unknown name" None (Obs.Metrics.quantile "nope" 0.5))
+
+(* --- spans --- *)
+
+let test_span_nesting_and_attrs () =
+  with_obs (fun () ->
+      let v =
+        Obs.Trace.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+            Obs.Trace.add_attr "late" "1";
+            Obs.Trace.with_span "inner" (fun () -> 17) + 1)
+      in
+      Alcotest.(check int) "value through spans" 18 v;
+      match Obs.Trace.spans () with
+      | [ inner; outer ] ->
+        (* completion order: inner closes first *)
+        Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+        Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+        Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+        Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+        Alcotest.(check (option int)) "inner parent" (Some outer.Obs.Trace.id)
+          inner.Obs.Trace.parent;
+        Alcotest.(check (option int)) "outer is root" None outer.Obs.Trace.parent;
+        Alcotest.(check (list (pair string string))) "attr propagation"
+          [ ("k", "v"); ("late", "1") ] outer.Obs.Trace.attrs;
+        Alcotest.(check bool) "durations nest" true
+          (outer.Obs.Trace.duration_s >= inner.Obs.Trace.duration_s)
+      | spans -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length spans)))
+
+let test_span_survives_exception () =
+  with_obs (fun () ->
+      (try Obs.Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "span recorded" 1 (Obs.Trace.count ()))
+
+let test_span_capacity () =
+  with_obs (fun () ->
+      Obs.Trace.set_capacity 3;
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_capacity 100_000)
+        (fun () ->
+          for i = 1 to 5 do
+            Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+          done;
+          Alcotest.(check int) "kept" 3 (Obs.Trace.count ());
+          Alcotest.(check int) "dropped" 2 (Obs.Trace.dropped ())))
+
+(* --- exporters --- *)
+
+let test_prometheus_deterministic_and_parseable () =
+  with_obs (fun () ->
+      Obs.Metrics.inc ~by:3 (Obs.Metrics.labeled "events_total" [ ("kind", "a b") ]);
+      Obs.Metrics.set "queue_depth" 7.0;
+      Obs.Metrics.observe ~buckets:[| 1.0; 2.0 |] "lat_seconds" 1.5;
+      let one = Obs.Export.prometheus (Obs.Metrics.snapshot ()) in
+      let two = Obs.Export.prometheus (Obs.Metrics.snapshot ()) in
+      Alcotest.(check string) "deterministic" one two;
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' one) in
+      Alcotest.(check bool) "nonempty" true (lines <> []);
+      List.iter
+        (fun line ->
+          if String.length line > 0 && line.[0] <> '#' then begin
+            (* every sample line is "name[{labels}] number" *)
+            match String.rindex_opt line ' ' with
+            | None -> Alcotest.fail ("unparseable line: " ^ line)
+            | Some i -> (
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              match float_of_string_opt v with
+              | Some _ -> ()
+              | None -> Alcotest.fail ("bad value in: " ^ line))
+          end)
+        lines;
+      Alcotest.(check bool) "TYPE lines present" true
+        (List.exists (fun l -> l = "# TYPE events_total counter") lines);
+      Alcotest.(check bool) "histogram exploded" true
+        (List.exists (fun l -> l = "lat_seconds_bucket{le=\"2\"} 1") lines);
+      Alcotest.(check bool) "+Inf bucket" true
+        (List.exists (fun l -> l = "lat_seconds_bucket{le=\"+Inf\"} 1") lines))
+
+let test_trace_jsonl_parseable () =
+  with_obs (fun () ->
+      Obs.Trace.with_span "a" ~attrs:[ ("quote", "say \"hi\"") ] (fun () ->
+          Obs.Trace.with_span "b" (fun () -> ()));
+      let out = Obs.Export.trace_jsonl (Obs.Trace.spans ()) in
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+      Alcotest.(check int) "one line per span" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          Alcotest.(check bool) "object shaped" true
+            (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}');
+          List.iter
+            (fun field ->
+              Alcotest.(check bool) (field ^ " present") true
+                (is_infix ~affix:field line))
+            [ "\"id\":"; "\"parent\":"; "\"depth\":"; "\"name\":"; "\"start_s\":";
+              "\"duration_s\":"; "\"alloc_bytes\":"; "\"attrs\":" ])
+        lines;
+      Alcotest.(check bool) "escaped quotes" true
+        (is_infix ~affix:{|\"hi\"|} out))
+
+let test_summary_nonempty () =
+  with_obs (fun () ->
+      Obs.Metrics.inc "c_total";
+      Obs.Trace.with_span "s" (fun () -> ());
+      let s = Obs.Export.summary (Obs.Metrics.snapshot ()) (Obs.Trace.spans ()) in
+      Alcotest.(check bool) "mentions span" true (is_infix ~affix:"s" s);
+      Alcotest.(check bool) "mentions metric" true (is_infix ~affix:"c_total" s))
+
+(* --- disabled mode --- *)
+
+let test_disabled_leaves_no_residue () =
+  Obs.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  Obs.Metrics.inc "c_total";
+  Obs.Metrics.set "g" 1.0;
+  Obs.Metrics.observe "h" 1.0;
+  let v = Obs.Trace.with_span "s" (fun () -> 41 + 1) in
+  Obs.Trace.add_attr "k" "v";
+  Alcotest.(check int) "with_span is transparent" 42 v;
+  Alcotest.(check int) "empty registry" 0 (Obs.Metrics.size ());
+  Alcotest.(check (list unit)) "no samples" []
+    (List.map (fun _ -> ()) (Obs.Metrics.snapshot ()));
+  Alcotest.(check int) "no spans" 0 (Obs.Trace.count ());
+  Alcotest.(check (option (float 0.0))) "no counter" None (Obs.Metrics.counter_value "c_total")
+
+let test_instrumented_paths_silent_when_disabled () =
+  (* run an instrumented subsystem end to end with telemetry off: the
+     registry and span buffer must stay empty *)
+  Obs.reset ();
+  let proto =
+    Psc.Protocol.create
+      (Psc.Protocol.config ~table_size:256 ~num_cps:2 ~noise_flips_per_cp:8 ~proof_rounds:None
+         ~verify:false ())
+      ~num_dcs:2 ~seed:3
+  in
+  for i = 0 to 49 do
+    Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "x%d" i)
+  done;
+  ignore (Psc.Protocol.run proto);
+  Alcotest.(check int) "no metrics" 0 (Obs.Metrics.size ());
+  Alcotest.(check int) "no spans" 0 (Obs.Trace.count ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+          Alcotest.test_case "quantile estimates" `Quick test_quantiles_known_distribution;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and attrs" `Quick test_span_nesting_and_attrs;
+          Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+          Alcotest.test_case "capacity cap" `Quick test_span_capacity;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus" `Quick test_prometheus_deterministic_and_parseable;
+          Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl_parseable;
+          Alcotest.test_case "summary" `Quick test_summary_nonempty;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "no residue" `Quick test_disabled_leaves_no_residue;
+          Alcotest.test_case "instrumented paths silent" `Quick
+            test_instrumented_paths_silent_when_disabled;
+        ] );
+    ]
