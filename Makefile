@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test lint check bench clean
 
 all: build
 
@@ -8,8 +8,11 @@ build:
 test:
 	dune runtest
 
+lint:
+	dune exec bin/torlint.exe
+
 # what CI runs
-check: build test
+check: build test lint
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,43 @@
+type severity = Error | Warning
+
+type t = {
+  path : string;
+  line : int;
+  col : int;
+  rule_id : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let family t =
+  match String.index_opt t.rule_id '/' with
+  | Some i -> String.sub t.rule_id 0 i
+  | None -> t.rule_id
+
+let v ~path ~rule_id ~severity ~message (loc : Location.t) =
+  let pos = loc.Location.loc_start in
+  {
+    path;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule_id;
+    severity;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule_id b.rule_id
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" t.path t.line t.col
+    (severity_to_string t.severity)
+    t.rule_id t.message

@@ -1,0 +1,88 @@
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception Syntaxerr.Error err ->
+    Error (Syntaxerr.location_of_error err, "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (loc, "lexer error")
+
+let rule_disabled config (rule : Rule.t) =
+  List.exists
+    (fun d -> Config.rule_matches d ~rule_id:rule.Rule.id ~family:rule.Rule.id)
+    config.Config.disabled
+
+let diag_waived config suppressions (d : Diagnostic.t) =
+  let family = Diagnostic.family d in
+  let rule_id = d.Diagnostic.rule_id in
+  List.exists (fun name -> Config.rule_matches name ~rule_id ~family) config.Config.disabled
+  || List.exists
+       (fun (name, frag) ->
+         Config.rule_matches name ~rule_id ~family && Config.in_paths d.Diagnostic.path [ frag ])
+       config.Config.allows
+  || Suppress.allows suppressions ~line:d.Diagnostic.line ~rule_id ~family
+
+let lint_source config ~path source =
+  match parse ~path source with
+  | Error (loc, msg) ->
+    [ Diagnostic.v ~path ~rule_id:"parse/error" ~severity:Diagnostic.Error ~message:msg loc ]
+  | Ok ast ->
+    let diags = ref [] in
+    let ctx = { Rule.config; path; emit = (fun d -> diags := d :: !diags) } in
+    List.iter
+      (fun (rule : Rule.t) ->
+        if (not (rule_disabled config rule)) && rule.Rule.applies config ~path then
+          rule.Rule.check ctx ast)
+      Rules.all;
+    let suppressions = Suppress.scan source in
+    !diags
+    |> List.filter (fun d -> not (diag_waived config suppressions d))
+    |> List.sort_uniq Diagnostic.compare
+
+let lint_file config path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> lint_source config ~path source
+  | exception Sys_error msg ->
+    [
+      {
+        Diagnostic.path;
+        line = 1;
+        col = 0;
+        rule_id = "parse/unreadable";
+        severity = Diagnostic.Error;
+        message = msg;
+      };
+    ]
+
+(* --- directory walking --- *)
+
+let is_dir path = Sys.file_exists path && Sys.is_directory path
+
+let rec files_under dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         if entry = "_build" || (entry <> "" && entry.[0] = '.') then []
+         else
+           let path = Filename.concat dir entry in
+           if Sys.is_directory path then files_under path
+           else if Filename.check_suffix entry ".ml" then [ path ]
+           else [])
+
+let strip_dot_slash p =
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let walk root =
+  let sub name = Filename.concat root name in
+  let roots =
+    List.filter is_dir [ sub "lib"; sub "bin" ]
+  in
+  let roots = if roots = [] then [ root ] else roots in
+  List.concat_map files_under roots |> List.map strip_dot_slash |> List.sort String.compare
+
+let lint_paths config paths =
+  paths
+  |> List.concat_map (fun p -> if is_dir p then walk p else [ strip_dot_slash p ])
+  |> List.sort_uniq String.compare
+  |> List.concat_map (lint_file config)

@@ -1,0 +1,21 @@
+(** The torlint engine: parse one source file with the compiler's own
+    parser, run every enabled rule over it, and filter the findings
+    through in-source allow comments and the config allowlist. *)
+
+val lint_source : Config.t -> path:string -> string -> Diagnostic.t list
+(** Lint source text as if it lived at [path] (scoping and sink/launder
+    decisions are path-based). A file that does not parse yields a
+    single [parse/error] diagnostic rather than raising. Results are
+    sorted by position. *)
+
+val lint_file : Config.t -> string -> Diagnostic.t list
+(** Read and lint one file. An unreadable file yields a [parse/unreadable]
+    diagnostic. *)
+
+val walk : string -> string list
+(** [walk root] is every [.ml] file under [root/lib] and [root/bin]
+    (or [root] itself when it is a single directory of sources), in
+    sorted order, skipping [_build] and dot-directories. *)
+
+val lint_paths : Config.t -> string list -> Diagnostic.t list
+(** Lint files and/or directories (directories are walked). *)

@@ -1,0 +1,80 @@
+(* Determinism rule: aggregation code must reproduce bit-for-bit across
+   data collectors and compute parties, so ambient randomness, wall
+   clocks, and hash-table iteration order are all banned from the
+   measurement libraries.
+
+   Sub-rules:
+     determinism/ambient-rng    Random.* (use a seeded Prng.Rng / Drbg)
+     determinism/wall-clock     Sys.time, Unix.* (pass time in explicitly)
+     determinism/unseeded-hash  Hashtbl.hash and friends (process-varying)
+     determinism/hashtbl-order  Hashtbl.iter/fold whose result is not
+                                re-sorted before it escapes *)
+
+let sorters =
+  [
+    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
+    "Array.sort"; "Array.stable_sort";
+  ]
+
+let hash_fns =
+  [ "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param"; "Hashtbl.randomize" ]
+
+(* [Hashtbl.fold ... |> List.sort cmp] and [List.sort cmp (Hashtbl.fold ...)]
+   are both fine: some enclosing application re-establishes a canonical
+   order. We look for a sorter at the head of any ancestor application or
+   of any of its arguments (the pipeline operators put the sorter in
+   argument position). *)
+let laundered_by_sort ~ancestors =
+  List.exists
+    (fun (e : Parsetree.expression) ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_apply (fn, args) ->
+        let heads = fn :: List.map snd args in
+        List.exists
+          (fun h ->
+            match Rule.head_ident h with
+            | Some name -> List.mem name sorters
+            | None -> false)
+          heads
+      | _ -> false)
+    ancestors
+
+let check (ctx : Rule.ctx) structure =
+  Rule.iter_expressions structure ~f:(fun ~ancestors e ->
+      match Rule.ident_name e with
+      | None -> ()
+      | Some name ->
+        let loc = e.Parsetree.pexp_loc in
+        let flag rule_id message =
+          Rule.emit ctx ~rule_id ~severity:Diagnostic.Error ~message loc
+        in
+        if String.length name > 7 && String.sub name 0 7 = "Random." then
+          flag "determinism/ambient-rng"
+            (Printf.sprintf
+               "%s uses the ambient self-seeding RNG; draw from a seeded Prng.Rng or Crypto.Drbg instead"
+               name)
+        else if name = "Sys.time" || (String.length name > 5 && String.sub name 0 5 = "Unix.") then
+          flag "determinism/wall-clock"
+            (Printf.sprintf "%s reads the wall clock; pass time in explicitly" name)
+        else if List.mem name hash_fns then
+          flag "determinism/unseeded-hash"
+            (Printf.sprintf
+               "%s may vary across processes; use a keyed hash (Psc.Item.slot / Crypto.Sha256)"
+               name)
+        else if name = "Hashtbl.iter" || name = "Hashtbl.fold" then
+          if not (laundered_by_sort ~ancestors) then
+            flag "determinism/hashtbl-order"
+              (Printf.sprintf
+                 "%s visits bindings in unspecified order; sort the result (List.sort) or waive with a justified `torlint: allow` if the accumulation commutes"
+                 name))
+
+let rule : Rule.t =
+  {
+    Rule.id = "determinism";
+    doc =
+      "bans ambient RNGs, wall clocks, unseeded hashing and unordered Hashtbl \
+       iteration in the aggregation libraries";
+    applies =
+      (fun config ~path -> Config.in_paths path (Config.scope_of config "determinism"));
+    check;
+  }

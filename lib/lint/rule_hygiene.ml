@@ -1,0 +1,54 @@
+(* Hygiene rule: failure modes that hide bugs in a measurement pipeline.
+
+   Sub-rules:
+     hygiene/swallowed-exn   `try ... with _ ->` discards the exception;
+                             a blinding or proof failure must not be
+                             silently turned into a default value
+     hygiene/obj-magic       Obj.magic defeats the type system
+     hygiene/failwith-in-lib failwith in library code raises the
+                             pattern-matchable-by-accident Failure;
+                             libraries should use invalid_arg or a
+                             dedicated exception *)
+
+let check (ctx : Rule.ctx) structure =
+  let in_bin = Config.in_paths ctx.Rule.path [ "bin/" ] in
+  Rule.iter_expressions structure ~f:(fun ~ancestors:_ e ->
+      let loc = e.Parsetree.pexp_loc in
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_try (_, cases) ->
+        List.iter
+          (fun (case : Parsetree.case) ->
+            match case.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_any ->
+              Rule.emit ctx ~rule_id:"hygiene/swallowed-exn"
+                ~severity:Diagnostic.Error
+                ~message:
+                  "`with _ ->` swallows every exception including Out_of_memory \
+                   and assertion failures; match the specific exceptions instead"
+                case.Parsetree.pc_lhs.Parsetree.ppat_loc
+            | _ -> ())
+          cases
+      | Parsetree.Pexp_ident _ -> (
+        match Rule.ident_name e with
+        | Some ("Obj.magic" as name) ->
+          Rule.emit ctx ~rule_id:"hygiene/obj-magic" ~severity:Diagnostic.Error
+            ~message:(name ^ " defeats the type system") loc
+        | Some ("failwith" | "Stdlib.failwith") when not in_bin ->
+          Rule.emit ctx ~rule_id:"hygiene/failwith-in-lib"
+            ~severity:Diagnostic.Warning
+            ~message:
+              "failwith in library code raises the generic Failure; use \
+               invalid_arg or a dedicated exception (or waive with a \
+               justification if the abort is protocol-intended)"
+            loc
+        | _ -> ())
+      | _ -> ())
+
+let rule : Rule.t =
+  {
+    Rule.id = "hygiene";
+    doc = "bans `with _ ->` swallowing, Obj.magic, and failwith in library code";
+    applies =
+      (fun config ~path -> Config.in_paths path (Config.scope_of config "hygiene"));
+    check;
+  }

@@ -1,0 +1,110 @@
+(* Polymorphic-compare rule: structural (=) / compare on abstract crypto
+   values is wrong (a group element has one canonical representative
+   here, but the deployed 2048-bit backend would compare limb arrays)
+   and timing-relevant (polymorphic compare short-circuits). The crypto
+   modules expose *_to_int / *_to_string escapes precisely so that
+   comparisons happen on plain scalars.
+
+   Sub-rules:
+     polycompare/structural-eq  (=) or (<>) with an operand built by a
+                                crypto module (no escape applied)
+     polycompare/poly-compare   any use of polymorphic compare *)
+
+let compare_fns = [ "compare"; "Stdlib.compare"; "Pervasives.compare" ]
+
+(* An operand taints the comparison when its head identifier lives in a
+   crypto module and is not one of the scalar escapes. *)
+let tainted_operand config (e : Parsetree.expression) =
+  match Rule.head_ident e with
+  | None -> None
+  | Some name -> (
+    match Rule.module_path name with
+    | Some m when List.mem m config.Config.crypto_modules ->
+      if List.exists (fun suffix -> Rule.has_suffix name ~suffix) config.Config.escapes
+      then None
+      else Some name
+    | _ -> None)
+
+let physically_heads (fn : Parsetree.expression) (e : Parsetree.expression) =
+  match fn.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident _ -> fn == e
+  | _ -> false
+
+let check (ctx : Rule.ctx) structure =
+  let config = ctx.Rule.config in
+  Rule.iter_expressions structure ~f:(fun ~ancestors e ->
+      let loc = e.Parsetree.pexp_loc in
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_apply (fn, args)
+        when (match Rule.ident_name fn with
+             | Some ("=" | "<>") -> true
+             | _ -> false) -> (
+        let operands = List.map snd args in
+        match List.filter_map (tainted_operand config) operands with
+        | tainted :: _ ->
+          Rule.emit ctx ~rule_id:"polycompare/structural-eq"
+            ~severity:Diagnostic.Error
+            ~message:
+              (Printf.sprintf
+                 "structural equality on a crypto value (%s); compare via its \
+                  *_to_int/*_to_string escape or a dedicated equal"
+                 tainted)
+            loc
+        | [] ->
+          (* a partial application hides the other operand, so the
+             comparison can't be proven scalar — unless the one visible
+             operand is a constant *)
+          let constant (e : Parsetree.expression) =
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_constant _ | Parsetree.Pexp_construct _ -> true
+            | _ -> false
+          in
+          if List.length operands < 2 && not (List.exists constant operands) then
+            Rule.emit ctx ~rule_id:"polycompare/structural-eq"
+              ~severity:Diagnostic.Error
+              ~message:
+                "partially applied polymorphic equality in crypto code; pass a \
+                 typed equality instead"
+              loc)
+      | Parsetree.Pexp_ident _ -> (
+        match Rule.ident_name e with
+        | Some name when List.mem name compare_fns ->
+          (* (=) handled above at the application; a bare first-class
+             compare escapes that check, so flag the identifier itself *)
+          Rule.emit ctx ~rule_id:"polycompare/poly-compare"
+            ~severity:Diagnostic.Error
+            ~message:
+              (Printf.sprintf
+                 "%s is polymorphic structural comparison; use a typed compare \
+                  (String.compare, Int.compare) in crypto code"
+                 name)
+            loc
+        | Some ("=" | "<>") -> (
+          (* a bare (=) passed as a function value; skip the occurrence
+             already reported at its enclosing application *)
+          match ancestors with
+          | parent :: _
+            when (match parent.Parsetree.pexp_desc with
+                 | Parsetree.Pexp_apply (fn, _) -> physically_heads fn e
+                 | _ -> false) ->
+            ()
+          | _ ->
+            Rule.emit ctx ~rule_id:"polycompare/structural-eq"
+              ~severity:Diagnostic.Error
+              ~message:
+                "first-class polymorphic equality in crypto code; pass a typed \
+                 equality instead"
+              loc)
+        | _ -> ())
+      | _ -> ())
+
+let rule : Rule.t =
+  {
+    Rule.id = "polycompare";
+    doc =
+      "bans polymorphic =/compare on abstract crypto values (group elements, \
+       ciphertexts)";
+    applies =
+      (fun config ~path -> Config.in_paths path (Config.scope_of config "polycompare"));
+    check;
+  }

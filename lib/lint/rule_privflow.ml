@@ -1,0 +1,45 @@
+(* Privacy-flow rule: the safety property PrivCount and PSC exist to
+   provide is that raw, pre-noise counter values never reach an output
+   sink. Sinks here are the telemetry library, the report layer, and
+   the executables; the only module allowed to touch raw aggregates is
+   lib/dp, which launders them through a DP mechanism.
+
+   The check is syntactic: any identifier in a sink file whose dotted
+   name ends with a configured sensitive accessor is flagged. The
+   sensitive list is seeded with the PrivCount DC/SK raw report sums
+   and the PSC ground-truth cardinality accessors, and is extended per
+   repo via `sensitive` directives in torlint.config. *)
+
+let matches_sensitive ~sensitive name =
+  List.exists
+    (fun entry -> name = entry || Rule.has_suffix name ~suffix:("." ^ entry))
+    sensitive
+
+let check (ctx : Rule.ctx) structure =
+  let config = ctx.Rule.config in
+  Rule.iter_expressions structure ~f:(fun ~ancestors:_ e ->
+      match Rule.ident_name e with
+      | Some name when matches_sensitive ~sensitive:config.Config.sensitive name ->
+        Rule.emit ctx ~rule_id:"privflow/raw-counter-leak"
+          ~severity:Diagnostic.Error
+          ~message:
+            (Printf.sprintf
+               "%s is a raw pre-noise accessor referenced from an output sink; \
+                route the value through lib/dp (or add a `launder` path) before \
+                it is published"
+               name)
+          e.Parsetree.pexp_loc
+      | _ -> ())
+
+let rule : Rule.t =
+  {
+    Rule.id = "privflow";
+    doc =
+      "bans raw pre-noise counter accessors in output sinks (lib/obs, report \
+       layer, bin/) outside DP laundering points";
+    applies =
+      (fun config ~path ->
+        Config.in_paths path config.Config.sinks
+        && not (Config.in_paths path config.Config.launder));
+    check;
+  }

@@ -1,0 +1,11 @@
+(* The rule registry. Adding a rule family = adding a module exposing a
+   [Rule.t] and listing it here; the engine, executable, suppression
+   comments, and config directives all pick it up from this list. *)
+
+let all : Rule.t list =
+  [
+    Rule_determinism.rule;
+    Rule_polycompare.rule;
+    Rule_privflow.rule;
+    Rule_hygiene.rule;
+  ]

@@ -1,0 +1,58 @@
+type t = (int * string list) list
+(* (line, rules) — [rules = []] means "allow everything here". *)
+
+let marker = "torlint: allow"
+
+(* Rule tokens are [a-zA-Z0-9_/-]+; the first token that doesn't fit
+   (an em-dash, "--", free prose...) ends the rule list and starts the
+   justification. *)
+let is_rule_token tok =
+  tok <> ""
+  && (match tok.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '/' | '-' -> true
+         | _ -> false)
+       tok
+
+let index_of_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i > n - m then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let rules_of_line line =
+  match index_of_sub line marker with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + String.length marker) (String.length line - i - String.length marker) in
+    (* cut at the comment terminator if it is on the same line *)
+    let rest =
+      match index_of_sub rest "*)" with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    let words =
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter (fun w -> w <> "")
+    in
+    let rec take = function
+      | tok :: rest when is_rule_token tok -> tok :: take rest
+      | _ -> []
+    in
+    Some (take words)
+
+let scan source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> (i + 1, rules_of_line line))
+  |> List.filter_map (fun (lineno, rules) ->
+         match rules with None -> None | Some rs -> Some (lineno, rs))
+
+let allows t ~line ~rule_id ~family =
+  List.exists
+    (fun (l, rules) ->
+      line >= l
+      && line <= l + 2
+      && (rules = []
+         || List.exists (fun r -> Config.rule_matches r ~rule_id ~family) rules))
+    t

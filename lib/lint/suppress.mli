@@ -1,0 +1,20 @@
+(** In-source suppression comments.
+
+    A finding can be waived at its site with
+
+    {[ (* torlint: allow RULE ... — justification *) ]}
+
+    where each [RULE] is a rule id ([determinism/hashtbl-order]), a
+    family ([determinism]), or [all]. A bare [(* torlint: allow *)]
+    with no rule names waives every rule. The comment suppresses
+    matching diagnostics on its own line and on the two lines that
+    follow it, so it can sit directly above the flagged expression. *)
+
+type t
+
+val scan : string -> t
+(** Collect the allow comments of one source file. The scan is purely
+    line-based: it does not require the file to parse. *)
+
+val allows : t -> line:int -> rule_id:string -> family:string -> bool
+(** Is a diagnostic at [line] waived by some allow comment? *)

@@ -17,6 +17,12 @@ let modulus = Crypto.Secret_sharing.modulus
    the pairwise DRBG seed (standing in for PrivCount's encrypted share
    exchange). *)
 let create ~id ~specs ~noise_sigma_per_dc ~blinding ~noise_rng =
+  (* Draw noise and blinding shares in counter name order: the round is
+     then bit-identical however the caller ordered its counter specs
+     (registration-order independence, locked in by the tests). *)
+  let specs =
+    List.sort (fun a b -> String.compare a.Counter.name b.Counter.name) specs
+  in
   let counters = Hashtbl.create (List.length specs) in
   List.iter
     (fun spec ->
@@ -37,9 +43,11 @@ let increment t ~name ~by =
   | None -> () (* events for counters not in this round's config are dropped *)
   | Some r -> r := (((!r + by) mod modulus) + modulus) mod modulus
 
-(* End of round: the DC reports its blinded residues and wipes state. *)
+(* End of round: the DC reports its blinded residues, in counter name
+   order so a report is bit-identical regardless of table layout. *)
 let report t =
   t.finalized <- true;
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let id t = t.id

@@ -22,9 +22,12 @@ let absorb t ~dc ~counter share =
   | Some r -> r := (!r + share) mod modulus
   | None -> Hashtbl.replace t.shares key (ref (share mod modulus))
 
-(* Per-counter sums over the DCs that completed the round. *)
+(* Per-counter sums over the DCs that completed the round, in counter
+   name order so a report is bit-identical across SK replicas. *)
 let report ?(exclude_dcs = []) t =
   let sums = Hashtbl.create 64 in
+  (* torlint: allow determinism/hashtbl-order — addition mod M commutes,
+     and the report below leaves this function sorted *)
   Hashtbl.iter
     (fun (dc, counter) r ->
       if not (List.mem dc exclude_dcs) then
@@ -33,5 +36,6 @@ let report ?(exclude_dcs = []) t =
         | None -> Hashtbl.replace sums counter (ref (!r mod modulus)))
     t.shares;
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) sums []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let id t = t.id

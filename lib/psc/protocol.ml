@@ -42,6 +42,8 @@ let create cfg ~num_dcs ~seed =
     (fun cp ->
       let proof = Cp.key_proof cp in
       if not (Cp.verify_key_proof ~id:(Cp.id cp) ~pub:(Cp.public_key cp) proof) then
+        (* torlint: allow hygiene/failwith-in-lib — setup abort on a bad
+           CP key proof is the protocol-mandated response *)
         failwith "Protocol.create: CP key proof rejected")
     cps;
   let joint = Crypto.Elgamal.joint_pub (Array.to_list (Array.map Cp.public_key cps)) in
@@ -71,12 +73,17 @@ let insert t ~dc item =
 let true_union_size t =
   let all = Hashtbl.create 1024 in
   Array.iter
-    (fun tbl -> Hashtbl.iter (fun item () -> Hashtbl.replace all item ()) tbl)
+    (fun tbl ->
+      (* torlint: allow determinism/hashtbl-order — set union into [all],
+         only its cardinality is read *)
+      Hashtbl.iter (fun item () -> Hashtbl.replace all item ()) tbl)
     t.inserted;
   Hashtbl.length all
 
 let inserted_slots t ~dc =
   let slots = Hashtbl.create 256 in
+  (* torlint: allow determinism/hashtbl-order — set image into [slots],
+     only its cardinality is read *)
   Hashtbl.iter
     (fun item () ->
       Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
@@ -101,6 +108,8 @@ let record_table_metrics t =
     let slots = Hashtbl.create 1_024 in
     Array.iter
       (fun inserted ->
+        (* torlint: allow determinism/hashtbl-order — set image into
+           [slots], only its cardinality is read *)
         Hashtbl.iter
           (fun item () ->
             Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())

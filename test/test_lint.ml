@@ -1,0 +1,254 @@
+(* torlint's own test suite: every rule family gets a good/seeded-violation
+   fixture pair, plus suppression-comment handling, config parsing, and
+   the engine's parse-failure path. Fixtures are linted as strings under
+   fabricated paths, since all scoping decisions are path-based. *)
+
+open Lint
+
+let lint ?(config = Config.default) ~path source = Engine.lint_source config ~path source
+
+let rule_ids diags = List.map (fun d -> d.Diagnostic.rule_id) diags
+
+let check_flags msg ~rule diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flags %s (got: %s)" msg rule (String.concat ", " (rule_ids diags)))
+    true
+    (List.mem rule (rule_ids diags))
+
+let check_clean msg diags =
+  Alcotest.(check (list string)) (msg ^ " is clean") [] (rule_ids diags)
+
+(* --- determinism --- *)
+
+let test_determinism_hashtbl_order () =
+  let bad = "let pairs h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []" in
+  check_flags "unsorted fold" ~rule:"determinism/hashtbl-order"
+    (lint ~path:"lib/privcount/fixture.ml" bad);
+  check_flags "unsorted iter" ~rule:"determinism/hashtbl-order"
+    (lint ~path:"lib/psc/fixture.ml" "let dump h = Hashtbl.iter print_endline h");
+  let sorted_pipeline =
+    "let pairs h =\n\
+    \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []\n\
+    \  |> List.sort (fun (a, _) (b, _) -> String.compare a b)"
+  in
+  check_clean "fold piped into sort" (lint ~path:"lib/privcount/fixture.ml" sorted_pipeline);
+  let sorted_direct =
+    "let pairs h = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])"
+  in
+  check_clean "fold under sort" (lint ~path:"lib/dp/fixture.ml" sorted_direct);
+  (* same source out of the determinism scope: not our concern *)
+  check_clean "out of scope" (lint ~path:"lib/torsim/fixture.ml" bad)
+
+let test_determinism_ambient_sources () =
+  check_flags "Random" ~rule:"determinism/ambient-rng"
+    (lint ~path:"lib/crypto/fixture.ml" "let r () = Random.int 10");
+  check_flags "Sys.time" ~rule:"determinism/wall-clock"
+    (lint ~path:"lib/dp/fixture.ml" "let now () = Sys.time ()");
+  check_flags "Unix clock" ~rule:"determinism/wall-clock"
+    (lint ~path:"lib/psc/fixture.ml" "let now () = Unix.gettimeofday ()");
+  check_flags "Hashtbl.hash" ~rule:"determinism/unseeded-hash"
+    (lint ~path:"lib/privcount/fixture.ml" "let h x = Hashtbl.hash x");
+  check_clean "seeded prng"
+    (lint ~path:"lib/privcount/fixture.ml" "let r rng = Prng.Rng.below rng 10")
+
+(* the config's scope directive widens where the family runs *)
+let test_determinism_scope_directive () =
+  let bad = "let pairs h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []" in
+  check_clean "default scope" (lint ~path:"lib/workload/fixture.ml" bad);
+  let config =
+    match Config.of_string "scope determinism lib/workload" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  check_flags "widened scope" ~rule:"determinism/hashtbl-order"
+    (lint ~config ~path:"lib/workload/fixture.ml" bad)
+
+(* --- polymorphic compare --- *)
+
+let test_polycompare () =
+  check_flags "structural = on group element" ~rule:"polycompare/structural-eq"
+    (lint ~path:"lib/crypto/fixture.ml" "let bad a b = Group.mul a b = Group.one");
+  check_flags "structural <> on ciphertext" ~rule:"polycompare/structural-eq"
+    (lint ~path:"lib/crypto/fixture.ml" "let bad pk x y = Elgamal.encrypt pk x <> Elgamal.encrypt pk y");
+  check_flags "polymorphic compare" ~rule:"polycompare/poly-compare"
+    (lint ~path:"lib/crypto/fixture.ml" "let c xs = List.sort compare xs");
+  check_flags "first-class equality" ~rule:"polycompare/structural-eq"
+    (lint ~path:"lib/crypto/fixture.ml" "let mem x xs = List.exists (( = ) x) xs");
+  check_clean "scalar escape"
+    (lint ~path:"lib/crypto/fixture.ml"
+       "let ok a b = Group.elt_to_int a = Group.elt_to_int b");
+  check_clean "plain int compare" (lint ~path:"lib/crypto/fixture.ml" "let ok n = n = 0");
+  check_clean "out of scope"
+    (lint ~path:"lib/stats/fixture.ml" "let bad a b = Group.mul a b = Group.one")
+
+(* --- privacy flow --- *)
+
+let test_privflow () =
+  let leak = "let leak d = Privcount.Dc.report d" in
+  check_flags "raw DC sums in bin/" ~rule:"privflow/raw-counter-leak"
+    (lint ~path:"bin/fixture.ml" leak);
+  check_flags "raw SK sums in obs" ~rule:"privflow/raw-counter-leak"
+    (lint ~path:"lib/obs/fixture.ml" "let leak sk = Privcount.Sk.report sk");
+  check_flags "ground truth in report layer" ~rule:"privflow/raw-counter-leak"
+    (lint ~path:"lib/core/report_util.ml" "let truth p = Psc.Protocol.true_union_size p");
+  (* lib/dp is the DP laundering point: the same reference is legitimate *)
+  check_clean "laundering point" (lint ~path:"lib/dp/fixture.ml" leak);
+  (* non-sink library code may aggregate raw values internally *)
+  check_clean "non-sink module" (lint ~path:"lib/core/exp_fixture.ml" leak);
+  (* config can extend the sensitive set *)
+  let config =
+    match Config.of_string "sensitive Engine.truth" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  check_flags "config-added accessor" ~rule:"privflow/raw-counter-leak"
+    (lint ~config ~path:"bin/fixture.ml" "let t e = Torsim.Engine.truth e")
+
+(* --- hygiene --- *)
+
+let test_hygiene () =
+  check_flags "swallowed exception" ~rule:"hygiene/swallowed-exn"
+    (lint ~path:"lib/stats/fixture.ml" "let f g = try g () with _ -> 0");
+  check_flags "Obj.magic" ~rule:"hygiene/obj-magic"
+    (lint ~path:"lib/workload/fixture.ml" "let cast x = Obj.magic x");
+  check_flags "failwith in lib" ~rule:"hygiene/failwith-in-lib"
+    (lint ~path:"lib/torsim/fixture.ml" "let f () = failwith \"boom\"");
+  check_clean "failwith in bin" (lint ~path:"bin/fixture.ml" "let f () = failwith \"boom\"");
+  check_clean "specific handler"
+    (lint ~path:"lib/stats/fixture.ml" "let f g = try g () with Not_found -> 0")
+
+(* --- suppression comments --- *)
+
+let test_suppression () =
+  let bad = "let pairs h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []" in
+  let path = "lib/privcount/fixture.ml" in
+  check_clean "same-line allow by id"
+    (lint ~path (bad ^ " (* torlint: allow determinism/hashtbl-order — commutes *)"));
+  check_clean "preceding-line allow by family"
+    (lint ~path ("(* torlint: allow determinism — commutes *)\n" ^ bad));
+  check_clean "bare allow waives everything" (lint ~path ("(* torlint: allow *)\n" ^ bad));
+  check_flags "allow for another rule does not waive" ~rule:"determinism/hashtbl-order"
+    (lint ~path ("(* torlint: allow hygiene *)\n" ^ bad));
+  check_flags "allow far above does not waive" ~rule:"determinism/hashtbl-order"
+    (lint ~path ("(* torlint: allow determinism *)\n\n\n\n" ^ bad))
+
+(* --- config parsing --- *)
+
+let test_config_parsing () =
+  let cfg =
+    match
+      Config.of_string
+        "# comment\n\
+         disable hygiene/failwith-in-lib\n\
+         allow determinism lib/legacy\n\
+         sink lib/export\n\
+         launder lib/sanitize\n\
+         crypto-module Paillier\n\
+         escape _digest\n"
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "disable recorded" true
+    (List.mem "hygiene/failwith-in-lib" cfg.Config.disabled);
+  Alcotest.(check bool) "allow recorded" true
+    (List.mem ("determinism", "lib/legacy") cfg.Config.allows);
+  Alcotest.(check bool) "sink appended" true (List.mem "lib/export" cfg.Config.sinks);
+  Alcotest.(check bool) "launder appended" true (List.mem "lib/sanitize" cfg.Config.launder);
+  Alcotest.(check bool) "crypto module appended" true
+    (List.mem "Paillier" cfg.Config.crypto_modules);
+  Alcotest.(check bool) "escape appended" true (List.mem "_digest" cfg.Config.escapes);
+  (match Config.of_string "frobnicate lib/x" with
+  | Ok _ -> Alcotest.fail "unknown directive accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the line" true
+      (String.length msg > 0 && msg.[String.length msg - 1] <> '\n'));
+  match Config.of_string "allow determinism" with
+  | Ok _ -> Alcotest.fail "wrong arity accepted"
+  | Error _ -> ()
+
+let test_config_allowlist_waives () =
+  let bad = "let pairs h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []" in
+  let config =
+    match Config.of_string "allow determinism/hashtbl-order lib/privcount" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  check_clean "allowlisted path" (lint ~config ~path:"lib/privcount/fixture.ml" bad);
+  check_flags "other paths still flagged" ~rule:"determinism/hashtbl-order"
+    (lint ~config ~path:"lib/psc/fixture.ml" bad)
+
+let test_config_disable () =
+  let config =
+    match Config.of_string "disable determinism" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  check_clean "family disabled"
+    (lint ~config ~path:"lib/privcount/fixture.ml" "let r () = Random.int 10")
+
+(* --- engine plumbing --- *)
+
+let test_parse_error () =
+  match lint ~path:"lib/dp/fixture.ml" "let x = (" with
+  | [ d ] ->
+    Alcotest.(check string) "parse error rule" "parse/error" d.Diagnostic.rule_id
+  | diags ->
+    Alcotest.fail
+      (Printf.sprintf "expected one parse error, got %d findings" (List.length diags))
+
+let test_diagnostic_format () =
+  match lint ~path:"lib/psc/fixture.ml" "let dump h = Hashtbl.iter print_endline h" with
+  | [ d ] ->
+    Alcotest.(check int) "line" 1 d.Diagnostic.line;
+    let s = Diagnostic.to_string d in
+    Alcotest.(check bool) ("file:line:col prefix in " ^ s) true
+      (String.length s > 24 && String.sub s 0 24 = "lib/psc/fixture.ml:1:13:")
+  | diags -> Alcotest.fail (Printf.sprintf "expected one finding, got %d" (List.length diags))
+
+(* the repo itself must lint clean: this is the same check CI runs *)
+let test_repo_is_clean () =
+  (* under `dune runtest` the cwd is _build/default/test and the source
+     tree sits three levels up; allow a repo-root cwd too *)
+  match
+    List.find_opt
+      (fun root -> Sys.file_exists (Filename.concat root "torlint.config"))
+      [ "../../.."; "." ]
+  with
+  | None -> Alcotest.skip ()
+  | Some root ->
+    let config =
+      match Config.load (Filename.concat root "torlint.config") with
+      | Ok c -> c
+      | Error e -> Alcotest.fail e
+    in
+    let diags = Engine.lint_paths config [ root ] in
+    Alcotest.(check (list string)) "repo lints clean"
+      [] (List.map Diagnostic.to_string diags)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "hashtbl order" `Quick test_determinism_hashtbl_order;
+          Alcotest.test_case "ambient sources" `Quick test_determinism_ambient_sources;
+          Alcotest.test_case "scope directive" `Quick test_determinism_scope_directive;
+        ] );
+      ("polycompare", [ Alcotest.test_case "structural eq" `Quick test_polycompare ]);
+      ("privflow", [ Alcotest.test_case "raw accessors" `Quick test_privflow ]);
+      ("hygiene", [ Alcotest.test_case "failure modes" `Quick test_hygiene ]);
+      ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
+      ( "config",
+        [
+          Alcotest.test_case "parsing" `Quick test_config_parsing;
+          Alcotest.test_case "allowlist" `Quick test_config_allowlist_waives;
+          Alcotest.test_case "disable" `Quick test_config_disable;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "diagnostic format" `Quick test_diagnostic_format;
+          Alcotest.test_case "repo clean" `Quick test_repo_is_clean;
+        ] );
+    ]

@@ -259,6 +259,30 @@ let prop_aggregation_exact_modulo_noise =
       let r = Ts.value_exn (Deployment.tally d) "c" in
       Float.abs (r.Ts.value -. float_of_int !total) < (6.0 *. r.Ts.sigma) +. 1.0)
 
+(* Determinism regression (torlint's determinism family): the tally
+   must be bit-identical however the caller ordered its counter specs,
+   because DCs draw noise and blinding shares in canonical counter
+   order. *)
+let test_permuted_registration_order () =
+  let amounts = [ ("alpha", 120); ("beta", 45); ("gamma", 300); ("delta", 7) ] in
+  let tally_with names =
+    let d = make ~seed:7 names in
+    List.iter
+      (fun (name, by) ->
+        for dc = 0 to 3 do
+          Deployment.increment d ~dc ~name ~by
+        done)
+      amounts;
+    Deployment.tally d
+  in
+  let forward = tally_with [ "alpha"; "beta"; "gamma"; "delta" ] in
+  let backward = tally_with [ "delta"; "gamma"; "alpha"; "beta" ] in
+  List.iter
+    (fun (name, _) ->
+      let a = Ts.value_exn forward name and b = Ts.value_exn backward name in
+      Alcotest.(check (float 0.0)) (name ^ " identical under permutation") a.Ts.value b.Ts.value)
+    amounts
+
 let () =
   Alcotest.run "privcount"
     [
@@ -279,6 +303,7 @@ let () =
           Alcotest.test_case "noise weights roundtrip" `Quick test_noise_weights_roundtrip;
           Alcotest.test_case "noise weights validation" `Quick test_noise_weights_validation;
           Alcotest.test_case "noise weights variance" `Quick test_noise_weights_variance_split;
+          Alcotest.test_case "permuted registration" `Quick test_permuted_registration_order;
         ] );
       ( "failure_injection",
         [

@@ -255,6 +255,24 @@ let prop_estimate_tracks_truth =
       (* binomial noise sd = sqrt(96)/2 ~ 5; allow generous 10 sigma *)
       Float.abs (r.Protocol.estimate -. float_of_int n) < 60.0)
 
+(* Determinism regression (torlint's determinism family): the estimate
+   must be bit-identical however insertion events were ordered across
+   the DCs — slot writes are idempotent set membership, and the CPs'
+   noise draws never depend on the item stream. *)
+let test_permuted_insertion_order () =
+  let items = List.init 120 (fun i -> Printf.sprintf "it%d" i) in
+  let run order =
+    let proto = Protocol.create (config ()) ~num_dcs:2 ~seed:9 in
+    List.iteri (fun i item -> Protocol.insert proto ~dc:(i mod 2) item) order;
+    Protocol.run proto
+  in
+  let forward = run items in
+  let backward = run (List.rev items) in
+  Alcotest.(check int) "raw nonzero identical" forward.Protocol.raw_nonzero
+    backward.Protocol.raw_nonzero;
+  Alcotest.(check (float 0.0)) "estimate identical" forward.Protocol.estimate
+    backward.Protocol.estimate
+
 let () =
   Alcotest.run "psc"
     [
@@ -278,6 +296,7 @@ let () =
           Alcotest.test_case "fast path" `Quick test_no_proofs_fast_path;
           Alcotest.test_case "flips calibration" `Quick test_flips_for_params;
           Alcotest.test_case "monotone estimates" `Quick test_larger_union_estimates_monotone;
+          Alcotest.test_case "permuted insertion" `Quick test_permuted_insertion_order;
         ] );
       ( "failure_injection",
         [
