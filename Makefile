@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench clean
+.PHONY: all build test lint check bench bench-quick clean
 
 all: build
 
@@ -16,6 +16,11 @@ check: build test lint
 
 bench:
 	dune exec bench/main.exe
+
+# microbenchmarks only (skips the reproduction and ablation passes);
+# writes BENCH_<timestamp>.json
+bench-quick:
+	dune exec bench/main.exe -- --perf-only
 
 clean:
 	dune clean

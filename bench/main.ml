@@ -138,6 +138,13 @@ let kernel_sha256 =
   let block = String.make 1_024 'x' in
   ("crypto/sha256-1KiB", fun () -> ignore (Crypto.Sha256.digest block))
 
+(* 256 exponentiations per run so the per-run cost dwarfs harness
+   overhead; the exponents sweep the full width of Z_q. *)
+let kernel_pow_g =
+  let es = Array.init 256 (fun i -> Crypto.Group.exp_of_int ((i * 4_194_301) + 7)) in
+  ( "crypto/pow-g-x256",
+    fun () -> Array.iter (fun e -> ignore (Crypto.Group.pow_g e)) es )
+
 let kernel_elgamal =
   ( "crypto/elgamal-encrypt",
     fun () ->
@@ -169,6 +176,22 @@ let psc_with_cps num_cps =
 let kernel_psc_2cps = ("scaling/psc-512-slots-2cps", fun () -> psc_with_cps 2)
 let kernel_psc_5cps = ("scaling/psc-512-slots-5cps", fun () -> psc_with_cps 5)
 
+(* Table 2/5 scale: the full oblivious-counter pipeline over a 16k-slot
+   table — the end-to-end number the crypto-kernel work is judged on. *)
+let kernel_psc_16k =
+  ( "scaling/psc-16384-run",
+    fun () ->
+      let proto =
+        Psc.Protocol.create
+          (Psc.Protocol.config ~table_size:16_384 ~num_cps:3 ~noise_flips_per_cp:64
+             ~proof_rounds:None ~verify:false ())
+          ~num_dcs:2 ~seed:11
+      in
+      for i = 0 to 999 do
+        Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "item:%d" i)
+      done;
+      ignore (Psc.Protocol.run proto) )
+
 let kernel_shuffle_proof_rounds =
   let pk, cts = shuffle_cts () in
   ( "scaling/shuffle-64-rounds16",
@@ -185,8 +208,8 @@ let all_kernels =
   [
     kernel_table1; kernel_fig1; kernel_fig2; kernel_fig3; kernel_table2; kernel_table3;
     kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
-    kernel_users; kernel_sha256; kernel_elgamal; kernel_shuffle; kernel_gaussian;
-    kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds;
+    kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle; kernel_gaussian;
+    kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds; kernel_psc_16k;
   ]
 
 (* One post-timing run with telemetry on: what did this kernel touch?
@@ -267,6 +290,19 @@ let () =
   let args = Array.to_list Sys.argv in
   let perf_only = List.mem "--perf-only" args in
   let repro_only = List.mem "--repro-only" args in
+  (* --jobs N: domain pool size for the parallel kernels (results are
+     bit-identical at any value; only the timings change) *)
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+        prerr_endline "--jobs expects a positive integer";
+        exit 1)
+    | _ :: rest -> jobs_of rest
+    | [] -> None
+  in
+  (match jobs_of args with None -> () | Some n -> Parallel.set_jobs n);
   let seed = 1 in
   if not perf_only then run_reproduction seed;
   if not repro_only then begin

@@ -10,6 +10,22 @@ let seed_arg =
   let doc = "Random seed for the simulation (runs are deterministic per seed)." in
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Size of the domain pool for the parallel crypto kernels (default: \
+     $(b,REPRO_JOBS) or 1). Results are bit-identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some n ->
+    if n < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 1
+    end;
+    Parallel.set_jobs n
+
 let list_cmd =
   let run () =
     Printf.printf "%-8s %-11s %s\n" "id" "paper" "description";
@@ -75,12 +91,13 @@ let run_cmd =
     let doc = "Experiment id (see $(b,list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id seed csv metrics trace =
+  let run id seed csv metrics trace jobs =
     match Tormeasure.Registry.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try `tormeasure list`\n" id;
       exit 1
     | Some e ->
+      apply_jobs jobs;
       obs_start ~metrics ~trace;
       let report = Tormeasure.Registry.run_experiment e ~seed in
       Tormeasure.Report.print report;
@@ -89,7 +106,7 @@ let run_cmd =
       if not (Tormeasure.Report.all_ok report) then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print paper-vs-measured rows")
-    Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ jobs_arg)
 
 let ablations_cmd =
   let run () = List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ()) in
@@ -97,7 +114,8 @@ let ablations_cmd =
     Term.(const run $ const ())
 
 let run_all_cmd =
-  let run seed csv metrics trace =
+  let run seed csv metrics trace jobs =
+    apply_jobs jobs;
     obs_start ~metrics ~trace;
     let reports = Tormeasure.Registry.run_all ~seed () in
     write_csv csv reports;
@@ -111,7 +129,7 @@ let run_all_cmd =
     if failed <> [] then exit 2
   in
   Cmd.v (Cmd.info "run-all" ~doc:"Run every table and figure")
-    Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ jobs_arg)
 
 let () =
   let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in

@@ -28,20 +28,30 @@ let transcript ~pk ~ct ~(b0 : Group.elt * Group.elt) ~(b1 : Group.elt * Group.el
 (* y_i = c2 / m_i: the element whose log base pk must match log_g c1. *)
 let y_of ct bit = Group.div ct.Elgamal.c2 (message_of bit)
 
-let simulate drbg ~pk ~ct ~bit =
-  let e = Group.random_exp drbg in
-  let z = Group.random_exp drbg in
+let simulate_with ?pk_tab ~e ~z ~pk ~ct ~bit () =
   let y = y_of ct bit in
   (* a1 = g^z / c1^e, a2 = pk^z / y^e makes the verification equations
      hold for the chosen (e, z) *)
   let a1 = Group.div (Group.pow_g z) (Group.pow ct.Elgamal.c1 e) in
-  let a2 = Group.div (Group.pow pk z) (Group.pow y e) in
+  let a2 = Group.div (Group.pow_tab ?tab:pk_tab pk z) (Group.pow y e) in
   { a1; a2; e; z }
 
-let prove drbg ~pk ~r ~bit ct =
-  let fake = simulate drbg ~pk ~ct ~bit:(not bit) in
+(* All randomness a proven bit encryption consumes, in draw order.
+   [draw_rand] is the sequential prepass used before handing the pure
+   arithmetic to the domain pool; the order matches what
+   [encrypt_bit_proven] has always drawn inline. *)
+type rand = { r : Group.exp; fake_e : Group.exp; fake_z : Group.exp; k : Group.exp }
+
+let draw_rand drbg =
+  let r = Group.random_exp drbg in
+  let fake_e = Group.random_exp drbg in
+  let fake_z = Group.random_exp drbg in
   let k = Group.random_exp drbg in
-  let real_a1 = Group.pow_g k and real_a2 = Group.pow pk k in
+  { r; fake_e; fake_z; k }
+
+let prove_with ?pk_tab ~pk ~r ~bit ~fake_e ~fake_z ~k ct =
+  let fake = simulate_with ?pk_tab ~e:fake_e ~z:fake_z ~pk ~ct ~bit:(not bit) () in
+  let real_a1 = Group.pow_g k and real_a2 = Group.pow_tab ?tab:pk_tab pk k in
   let commitments =
     if bit then ((fake.a1, fake.a2), (real_a1, real_a2))
     else ((real_a1, real_a2), (fake.a1, fake.a2))
@@ -52,19 +62,29 @@ let prove drbg ~pk ~r ~bit ct =
   let real = { a1 = real_a1; a2 = real_a2; e = e_real; z = z_real } in
   if bit then { b0 = fake; b1 = real } else { b0 = real; b1 = fake }
 
-let branch_ok ~pk ~ct ~bit { a1; a2; e; z } =
+let prove drbg ~pk ~r ~bit ct =
+  let fake_e = Group.random_exp drbg in
+  let fake_z = Group.random_exp drbg in
+  let k = Group.random_exp drbg in
+  prove_with ~pk ~r ~bit ~fake_e ~fake_z ~k ct
+
+let branch_ok ?pk_tab ~pk ~ct ~bit { a1; a2; e; z } =
   let y = y_of ct bit in
   Group.elt_to_int (Group.pow_g z)
   = Group.elt_to_int (Group.mul a1 (Group.pow ct.Elgamal.c1 e))
-  && Group.elt_to_int (Group.pow pk z) = Group.elt_to_int (Group.mul a2 (Group.pow y e))
+  && Group.elt_to_int (Group.pow_tab ?tab:pk_tab pk z)
+     = Group.elt_to_int (Group.mul a2 (Group.pow y e))
 
-let verify ~pk ct { b0; b1 } =
+let verify ?pk_tab ~pk ct { b0; b1 } =
   let e_total = Group.hash_to_exp (transcript ~pk ~ct ~b0:(b0.a1, b0.a2) ~b1:(b1.a1, b1.a2)) in
   Group.exp_to_int (Group.exp_add b0.e b1.e) = Group.exp_to_int e_total
-  && branch_ok ~pk ~ct ~bit:false b0
-  && branch_ok ~pk ~ct ~bit:true b1
+  && branch_ok ?pk_tab ~pk ~ct ~bit:false b0
+  && branch_ok ?pk_tab ~pk ~ct ~bit:true b1
+
+let encrypt_bit_proven_with ?pk_tab ~pk { r; fake_e; fake_z; k } bit =
+  let ct = Elgamal.encrypt_with ?tab:pk_tab ~r pk (message_of bit) in
+  (ct, prove_with ?pk_tab ~pk ~r ~bit ~fake_e ~fake_z ~k ct)
 
 let encrypt_bit_proven drbg ~pk bit =
-  let r = Group.random_exp drbg in
-  let ct = Elgamal.encrypt_with ~r pk (message_of bit) in
-  (ct, prove drbg ~pk ~r ~bit ct)
+  let rand = draw_rand drbg in
+  encrypt_bit_proven_with ~pk rand bit

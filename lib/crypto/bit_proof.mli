@@ -14,8 +14,27 @@ val prove :
 (** [prove drbg ~pk ~r ~bit ct] where [ct] was produced as
     [Elgamal.encrypt_with ~r pk (if bit then marker else one)]. *)
 
-val verify : pk:Elgamal.pub -> Elgamal.ciphertext -> t -> bool
+val verify :
+  ?pk_tab:Group.precomp -> pk:Elgamal.pub -> Elgamal.ciphertext -> t -> bool
+(** [?pk_tab] is a fixed-base table for [pk]; raises [Invalid_argument]
+    on a base mismatch. *)
 
 val encrypt_bit_proven :
   Drbg.t -> pk:Elgamal.pub -> bool -> Elgamal.ciphertext * t
 (** Fresh encryption of a bit together with its validity proof. *)
+
+type rand = { r : Group.exp; fake_e : Group.exp; fake_z : Group.exp; k : Group.exp }
+(** The four exponents a proven bit encryption consumes, in the order
+    {!encrypt_bit_proven} draws them. Splitting the draw from the
+    arithmetic lets callers run a sequential DRBG prepass and do the
+    group operations on the domain pool (see [Parallel]). *)
+
+val draw_rand : Drbg.t -> rand
+(** Draw the randomness for one proven bit encryption. Consumes exactly
+    the DRBG values [encrypt_bit_proven] would, in the same order. *)
+
+val encrypt_bit_proven_with :
+  ?pk_tab:Group.precomp -> pk:Elgamal.pub -> rand -> bool -> Elgamal.ciphertext * t
+(** Pure arithmetic of {!encrypt_bit_proven} given pre-drawn
+    randomness: [encrypt_bit_proven drbg ~pk bit] is exactly
+    [encrypt_bit_proven_with ~pk (draw_rand drbg) bit]. *)

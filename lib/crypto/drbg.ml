@@ -1,15 +1,24 @@
-type t = { mutable key : string; mutable v : string }
+(* HMAC-DRBG (NIST SP 800-90A) over HMAC-SHA256. The key is held as a
+   precomputed [Hmac.keyed] midstate: each key serves several HMAC calls
+   before the next rekey, so caching the ipad/opad block compressions
+   drops a DRBG draw from 12 SHA-256 compressions to 8. Output is
+   byte-identical to the naive formulation (locked by the RFC 4231 and
+   determinism test vectors). *)
+
+type t = { mutable key : Hmac.keyed; mutable v : string }
+
+let rekey t material = t.key <- Hmac.keyed (Hmac.sha256_keyed t.key material)
 
 let update t provided =
-  t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
-  t.v <- Hmac.sha256 ~key:t.key t.v;
+  rekey t (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256_keyed t.key t.v;
   if provided <> "" then begin
-    t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
-    t.v <- Hmac.sha256 ~key:t.key t.v
+    rekey t (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256_keyed t.key t.v
   end
 
 let create ?(personalization = "") seed =
-  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  let t = { key = Hmac.keyed (String.make 32 '\x00'); v = String.make 32 '\x01' } in
   update t (seed ^ personalization);
   t
 
@@ -18,7 +27,7 @@ let reseed t entropy = update t entropy
 let generate t n =
   let b = Buffer.create n in
   while Buffer.length b < n do
-    t.v <- Hmac.sha256 ~key:t.key t.v;
+    t.v <- Hmac.sha256_keyed t.key t.v;
     Buffer.add_string b t.v
   done;
   update t "";

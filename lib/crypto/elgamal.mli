@@ -14,14 +14,17 @@ val joint_pub : pub list -> pub
 (** Product of the parties' public keys: the joint key whose private key
     is the (never-materialized) sum of the parties' private keys. *)
 
-val encrypt : Drbg.t -> pub -> Group.elt -> ciphertext
+val encrypt : ?tab:Group.precomp -> Drbg.t -> pub -> Group.elt -> ciphertext
+(** [?tab], here and below, is a fixed-base table for the public key
+    (see {!Group.precomp}); passing a table built for a different base
+    raises [Invalid_argument]. *)
 
-val encrypt_with : r:Group.exp -> pub -> Group.elt -> ciphertext
+val encrypt_with : ?tab:Group.precomp -> r:Group.exp -> pub -> Group.elt -> ciphertext
 (** Encryption with explicit randomness (used by proofs and tests). *)
 
 val decrypt : priv -> ciphertext -> Group.elt
 
-val rerandomize : Drbg.t -> pub -> ciphertext -> ciphertext
+val rerandomize : ?tab:Group.precomp -> Drbg.t -> pub -> ciphertext -> ciphertext
 (** Fresh randomness; plaintext unchanged, ciphertext unlinkable. *)
 
 val mul : ciphertext -> ciphertext -> ciphertext
@@ -37,6 +40,16 @@ val partial_decrypt : priv -> ciphertext -> Group.elt
 
 val combine_partial : ciphertext -> Group.elt list -> Group.elt
 (** Remove all parties' shares from c2, recovering the plaintext. *)
+
+val combine_partial_arr : ciphertext -> Group.elt array -> Group.elt
+(** Array form of {!combine_partial} (no intermediate list). *)
+
+val combine_partial_all :
+  ciphertext array -> parties:int -> share:(int -> int -> Group.elt) -> Group.elt array
+(** Vectorised combine: plaintext of [cts.(i)] given that party [p]'s
+    share for it is [share p i]. One batch inversion for the whole
+    vector instead of one modular inversion per ciphertext; the share
+    products run on the domain pool. *)
 
 val is_identity_plaintext : Group.elt -> bool
 

@@ -66,7 +66,68 @@ let mul a b = a * b mod p
 let inv a = powmod a (p - 2) p
 let div a b = mul a (inv b)
 let pow b e = powmod b e p
-let pow_g e = powmod g e p
+
+(* Fixed-base exponentiation: radix-2^8 precomputation. For a base b,
+   [table.((w lsl 8) lor d)] holds b^(d * 2^(8w)) for the four 8-bit
+   windows covering Z_q (q < 2^30), so b^e costs three modular
+   multiplications and four table lookups instead of ~31 squarings plus
+   ~15 multiplications of square-and-multiply. Tables are 1024 words;
+   one is built per long-lived base (g, a round's joint key). *)
+type precomp = { base : elt; table : elt array }
+
+let precomp b =
+  let table = Array.make 1024 1 in
+  let window_base = ref b in
+  for w = 0 to 3 do
+    let bw = !window_base in
+    let acc = ref 1 in
+    for d = 1 to 255 do
+      acc := !acc * bw mod p;
+      table.((w lsl 8) lor d) <- !acc
+    done;
+    (* bw^255 * bw = bw^256, the next window's base *)
+    window_base := !acc * bw mod p
+  done;
+  { base = b; table }
+
+let precomp_base t = t.base
+
+let pow_precomp { table; _ } e =
+  let m01 = table.(e land 0xff) * table.(0x100 lor ((e lsr 8) land 0xff)) mod p in
+  let m2 = table.(0x200 lor ((e lsr 16) land 0xff)) in
+  let m3 = table.(0x300 lor ((e lsr 24) land 0xff)) in
+  m01 * m2 mod p * m3 mod p
+
+let g_precomp = precomp g
+let pow_g e = pow_precomp g_precomp e
+
+let pow_tab ?tab b e =
+  match tab with
+  | None -> pow b e
+  | Some t ->
+    if t.base <> b then invalid_arg "Group.pow_tab: table base mismatch";
+    pow_precomp t e
+
+(* Montgomery batch inversion: n inverses for one exponentiation and
+   3(n-1) multiplications (prefix products forward, unwind backward). *)
+let batch_inv xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n 1 in
+    let acc = ref 1 in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      acc := !acc * xs.(i) mod p
+    done;
+    let out = Array.make n 1 in
+    let suffix_inv = ref (powmod !acc (p - 2) p) in
+    for i = n - 1 downto 0 do
+      out.(i) <- !suffix_inv * prefix.(i) mod p;
+      suffix_inv := !suffix_inv * xs.(i) mod p
+    done;
+    out
+  end
 let exp_add a b = (a + b) mod q
 let exp_sub a b = (a - b + q) mod q
 let exp_mul a b = a * b mod q

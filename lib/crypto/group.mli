@@ -41,7 +41,37 @@ val inv : elt -> elt
 val div : elt -> elt -> elt
 val pow : elt -> exp -> elt
 val pow_g : exp -> elt
-(** [pow_g x] = g^x. *)
+(** [pow_g x] = g^x, via the fixed-base table for g. *)
+
+type precomp
+(** Fixed-base exponentiation table (radix 2^8, 1024 group elements).
+    Build one per long-lived base — the generator's table is built at
+    startup and already backs {!pow_g}; callers build one per joint
+    public key per round. *)
+
+val precomp : elt -> precomp
+(** [precomp b] tabulates b^(d * 2^(8w)) for all 8-bit digits d and the
+    four windows w covering Z_q. Costs ~1020 multiplications; amortises
+    after ~25 exponentiations of the same base. *)
+
+val precomp_base : precomp -> elt
+(** The base the table was built for, so callers taking an optional
+    table can check it matches before using it. *)
+
+val pow_precomp : precomp -> exp -> elt
+(** [pow_precomp t e] = (precomp_base t)^e in three modular
+    multiplications. Agrees with {!pow} on every exponent. *)
+
+val pow_tab : ?tab:precomp -> elt -> exp -> elt
+(** [pow_tab ?tab b e] = b^e, via the table when one is given. Raises
+    [Invalid_argument] if [tab] was built for a different base — using
+    a stale table silently computes the wrong power otherwise. *)
+
+val batch_inv : elt array -> elt array
+(** Montgomery batch inversion: [batch_inv xs] is the array of
+    pointwise inverses, computed with a single exponentiation and
+    3(n-1) multiplications instead of n exponentiations. Returns [[||]]
+    on empty input. *)
 
 val exp_add : exp -> exp -> exp
 val exp_sub : exp -> exp -> exp

@@ -32,6 +32,19 @@ let init () = {
   finished = false;
 }
 
+(* Independent snapshot of a context. Lets HMAC absorb a key block once
+   and restart from the midstate per message instead of re-absorbing the
+   padded key on every call. *)
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 64 0;
+    finished = ctx.finished;
+  }
+
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 let compress ctx block off =

@@ -5,6 +5,11 @@
 type ctx
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Independent snapshot: updating or finalizing the copy leaves the
+    original untouched. Used by HMAC to cache per-key midstates. *)
+
 val update : ctx -> string -> unit
 val finalize : ctx -> string
 (** 32-byte raw digest. The context must not be reused afterwards. *)

@@ -18,9 +18,12 @@ type proof = { rounds : round list }
 
 let default_rounds = 16
 
-let apply_link pk ~from ~perm ~rand =
-  Array.init (Array.length from) (fun i ->
-      Elgamal.mul (Elgamal.encrypt_with ~r:rand.(i) pk Elgamal.one) from.(perm.(i)))
+(* Hot loop: one rerandomizing encryption per element, with the
+   randomness pre-drawn in [rand] — pure per index, so it runs on the
+   domain pool and uses the caller's fixed-base table for pk. *)
+let apply_link ?tab pk ~from ~perm ~rand =
+  Parallel.parallel_init (Array.length from) (fun i ->
+      Elgamal.mul (Elgamal.encrypt_with ?tab ~r:rand.(i) pk Elgamal.one) from.(perm.(i)))
 
 let invert_perm perm =
   let inv = Array.make (Array.length perm) 0 in
@@ -50,14 +53,15 @@ let challenge_bit digest j = (Char.code digest.[j / 8 mod 32] lsr (j mod 8)) lan
 
 let shuffle ?(rounds = default_rounds) drbg pk input =
   let n = Array.length input in
+  let tab = Group.precomp pk in
   let pi = random_perm drbg n in
   let r = Array.init n (fun _ -> Group.random_exp drbg) in
-  let output = apply_link pk ~from:input ~perm:pi ~rand:r in
+  let output = apply_link ~tab pk ~from:input ~perm:pi ~rand:r in
   let shadows =
     List.init rounds (fun _ ->
         let sigma = random_perm drbg n in
         let s = Array.init n (fun _ -> Group.random_exp drbg) in
-        let z = apply_link pk ~from:input ~perm:sigma ~rand:s in
+        let z = apply_link ~tab pk ~from:input ~perm:sigma ~rand:s in
         (sigma, s, z))
   in
   let digest = transcript_digest pk ~input ~output ~shadows:(List.map (fun (_, _, z) -> z) shadows) in
@@ -83,9 +87,10 @@ let shuffle ?(rounds = default_rounds) drbg pk input =
 
 let shuffle_unproven drbg pk input =
   let n = Array.length input in
+  let tab = Group.precomp pk in
   let pi = random_perm drbg n in
   let r = Array.init n (fun _ -> Group.random_exp drbg) in
-  apply_link pk ~from:input ~perm:pi ~rand:r
+  apply_link ~tab pk ~from:input ~perm:pi ~rand:r
 
 let same_ct a b =
   Group.elt_to_int a.Elgamal.c1 = Group.elt_to_int b.Elgamal.c1
@@ -106,6 +111,7 @@ let is_perm perm n =
 
 let verify pk ~input ~output { rounds } =
   let n = Array.length input in
+  let tab = Group.precomp pk in
   Array.length output = n
   && rounds <> []
   &&
@@ -120,11 +126,11 @@ let verify pk ~input ~output { rounds } =
       | Input_link (sigma, s) ->
         (not (challenge_bit digest j))
         && is_perm sigma n && Array.length s = n
-        && Array.for_all2 same_ct (apply_link pk ~from:input ~perm:sigma ~rand:s) shadow
+        && Array.for_all2 same_ct (apply_link ~tab pk ~from:input ~perm:sigma ~rand:s) shadow
       | Output_link (tau, t) ->
         challenge_bit digest j
         && is_perm tau n && Array.length t = n
-        && Array.for_all2 same_ct (apply_link pk ~from:shadow ~perm:tau ~rand:t) output)
+        && Array.for_all2 same_ct (apply_link ~tab pk ~from:shadow ~perm:tau ~rand:t) output)
     (List.init (List.length rounds) Fun.id)
     rounds
 

@@ -25,17 +25,19 @@ let dleq_challenge ~public1 ~base2 ~public2 ~a1 ~a2 ~context =
        [ "dleq|"; context; "|"; Group.elt_to_string public1; Group.elt_to_string base2;
          Group.elt_to_string public2; Group.elt_to_string a1; Group.elt_to_string a2 ])
 
-let dleq_prove drbg ~secret ~base2 ~context =
+let dleq_prove_with ~k ~secret ~base2 ~context =
   let public1 = Group.pow_g secret and public2 = Group.pow base2 secret in
-  let k = Group.random_exp drbg in
   let a1 = Group.pow_g k and a2 = Group.pow base2 k in
   let c = dleq_challenge ~public1 ~base2 ~public2 ~a1 ~a2 ~context in
   let z = Group.exp_add k (Group.exp_mul c secret) in
   { a1; a2; z }
 
-let dleq_verify ~public1 ~base2 ~public2 ~context { a1; a2; z } =
+let dleq_prove drbg ~secret ~base2 ~context =
+  dleq_prove_with ~k:(Group.random_exp drbg) ~secret ~base2 ~context
+
+let dleq_verify ?public1_tab ~public1 ~base2 ~public2 ~context { a1; a2; z } =
   let c = dleq_challenge ~public1 ~base2 ~public2 ~a1 ~a2 ~context in
   Group.elt_to_int (Group.pow_g z)
-  = Group.elt_to_int (Group.mul a1 (Group.pow public1 c))
+  = Group.elt_to_int (Group.mul a1 (Group.pow_tab ?tab:public1_tab public1 c))
   && Group.elt_to_int (Group.pow base2 z)
      = Group.elt_to_int (Group.mul a2 (Group.pow public2 c))

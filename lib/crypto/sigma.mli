@@ -19,6 +19,16 @@ val dleq_prove :
 (** Prove log_g(g^secret) = log_{base2}(base2^secret), i.e. that the
     same exponent links (g, g^x) and (base2, base2^x). *)
 
+val dleq_prove_with :
+  k:Group.exp -> secret:Group.exp -> base2:Group.elt -> context:string -> dleq_proof
+(** {!dleq_prove} with a pre-drawn commitment nonce [k] — the pure
+    arithmetic half, safe to run on the domain pool after a sequential
+    DRBG prepass. *)
+
 val dleq_verify :
+  ?public1_tab:Group.precomp ->
   public1:Group.elt -> base2:Group.elt -> public2:Group.elt -> context:string ->
   dleq_proof -> bool
+(** [?public1_tab] is a fixed-base table for [public1] (the prover's
+    long-lived public key), worthwhile when verifying many proofs from
+    the same party; raises [Invalid_argument] on a base mismatch. *)

@@ -1,0 +1,50 @@
+(** Deterministic data-parallel kernels over a fixed domain pool.
+
+    The aggregation pipelines (PSC, PrivCount) are bit-for-bit
+    reproducible, and parallel execution must not weaken that: every
+    combinator here guarantees that the result is identical at any pool
+    size, including the sequential [jobs = 1] path. The contract that
+    makes this true is the {e pre-drawn randomness rule}: worker
+    functions must be pure per index — callers draw any DRBG values in
+    a sequential prepass and workers execute only arithmetic. Chunks
+    are handed out dynamically, but each index [i] only ever writes
+    slot [i] of the result, so scheduling cannot reorder anything
+    observable. See DESIGN.md §3c.
+
+    The pool holds [jobs () - 1] worker domains (the calling domain
+    participates as the last worker) and is started lazily on the first
+    parallel call with [jobs () > 1]. With the default [jobs () = 1]
+    every combinator is exactly its sequential equivalent — no domains,
+    no atomics, no barrier. *)
+
+val default_jobs : unit -> int
+(** Pool size requested by the environment: [REPRO_JOBS] when set to a
+    positive integer, else 1. *)
+
+val jobs : unit -> int
+(** Current pool size (workers + the calling domain). *)
+
+val set_jobs : int -> unit
+(** Set the pool size; raises [Invalid_argument] unless positive. An
+    already-running pool of a different size is shut down and restarted
+    lazily at the new size. *)
+
+val parallel_for : ?min_chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for every [i] in [[0, n)], split into
+    index-ordered chunks of at least [min_chunk] (default 32) indices.
+    [f] must be pure up to writes into disjoint per-index slots. Any
+    exception raised by [f] is re-raised in the caller after all
+    workers have stopped. *)
+
+val parallel_init : ?min_chunk:int -> int -> (int -> 'a) -> 'a array
+(** Deterministic parallel [Array.init]: element [i] is [f i]
+    regardless of pool size. [f 0] is evaluated first, on the calling
+    domain. *)
+
+val parallel_map : ?min_chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Deterministic parallel [Array.map]. *)
+
+val shutdown : unit -> unit
+(** Join the worker domains (idempotent; the pool restarts lazily on
+    the next parallel call). Registered [at_exit] so a process never
+    exits with workers blocked on the pool condition. *)

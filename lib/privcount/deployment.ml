@@ -26,10 +26,13 @@ let total_sigma cfg spec =
 
 let create ?noise_weights cfg ~num_dcs ~seed =
   if num_dcs < 1 then invalid_arg "Deployment.create: need at least one DC";
+  let jobs = Parallel.jobs () in
+  Obs.Metrics.set "privcount_parallel_jobs" (float_of_int jobs);
   Obs.Trace.with_span "privcount.setup"
     ~attrs:
       [ ("dcs", string_of_int num_dcs); ("sks", string_of_int cfg.num_sks);
-        ("counters", string_of_int (List.length cfg.specs)) ]
+        ("counters", string_of_int (List.length cfg.specs));
+        ("jobs", string_of_int jobs) ]
   @@ fun () ->
   Obs.Metrics.inc "privcount_rounds_total";
   Obs.Metrics.inc_float "dp_epsilon_allocated_total{system=\"privcount\"}" cfg.params.Dp.Mechanism.epsilon;
@@ -58,18 +61,40 @@ let create ?noise_weights cfg ~num_dcs ~seed =
       Array.map (fun w -> w /. total) weights
   in
   let sigma_per_dc_at dc spec = total_sigma cfg spec *. sqrt variance_share.(dc) in
+  (* Per-counter blinding shares for every (dc, sk) pair, generated on
+     the domain pool. Each pair's DRBG is an independent stream seeded
+     only by (seed, dc, sk), and a DC draws its shares in sorted counter
+     name order (see Dc.create) — so each worker task can create its own
+     stream and draw it to exhaustion without any cross-task draw-order
+     dependence. The tensor is bit-identical at any pool size. *)
+  let sorted_names =
+    Array.of_list (List.sort String.compare (List.map (fun s -> s.Counter.name) cfg.specs))
+  in
+  let num_counters = Array.length sorted_names in
+  let shares_tensor =
+    Parallel.parallel_init ~min_chunk:1 (num_dcs * cfg.num_sks) (fun idx ->
+        let drbg = share_drbg ~dc:(idx / cfg.num_sks) ~sk:(idx mod cfg.num_sks) in
+        Array.init num_counters (fun _ ->
+            Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus))
+  in
+  let counter_index = Hashtbl.create num_counters in
+  Array.iteri (fun i name -> Hashtbl.replace counter_index name i) sorted_names;
+  (* Absorption into the SKs (and telemetry) stays sequential, on the
+     orchestrating domain, in the order the inline draws always ran:
+     dc-major, then counter name, then sk. *)
   let dcs =
     Array.init num_dcs (fun id ->
-        let drbgs = Array.init cfg.num_sks (fun sk -> share_drbg ~dc:id ~sk) in
         let blinding ~counter =
-          Array.to_list
-            (Array.mapi
-               (fun sk drbg ->
-                 let share = Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus in
-                 Obs.Metrics.inc "privcount_blinding_shares_total";
-                 Sk.absorb sks.(sk) ~dc:id ~counter share;
-                 share)
-               drbgs)
+          let c =
+            match Hashtbl.find_opt counter_index counter with
+            | Some c -> c
+            | None -> invalid_arg "Deployment.create: blinding for unknown counter"
+          in
+          List.init cfg.num_sks (fun sk ->
+              let share = shares_tensor.((id * cfg.num_sks) + sk).(c) in
+              Obs.Metrics.inc "privcount_blinding_shares_total";
+              Sk.absorb sks.(sk) ~dc:id ~counter share;
+              share)
         in
         Dc.create ~id ~specs:cfg.specs ~noise_sigma_per_dc:(sigma_per_dc_at id) ~blinding
           ~noise_rng)

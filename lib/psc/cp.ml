@@ -29,20 +29,32 @@ let verify_key_proof ~id ~pub proof =
 
 (* Binomial noise: [flips] fair coins, each encrypted as its own slot.
    The count of heads adds to the measured cardinality; its mean is
-   publicly subtracted by the estimator. *)
-let noise_slots t ~joint ~flips =
-  Array.init flips (fun _ ->
-      let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
-      Crypto.Elgamal.encrypt t.drbg joint
+   publicly subtracted by the estimator. Randomness is drawn in a
+   sequential prepass (bit then r per flip, the order the inline code
+   always used); the encryptions run on the domain pool. *)
+let noise_slots ?tab t ~joint ~flips =
+  let rand =
+    Array.init flips (fun _ ->
+        let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
+        (bit, Crypto.Group.random_exp t.drbg))
+  in
+  Parallel.parallel_init flips (fun i ->
+      let bit, r = rand.(i) in
+      Crypto.Elgamal.encrypt_with ?tab ~r joint
         (if bit then Crypto.Elgamal.marker else Crypto.Elgamal.one))
 
 (* Same, with a disjunctive bit-validity proof per slot: without these a
    malicious CP could inject non-bit plaintexts as "noise" and distort
    the cardinality while hiding behind noise deniability. *)
-let noise_slots_proven t ~joint ~flips =
-  Array.init flips (fun _ ->
-      let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
-      Crypto.Bit_proof.encrypt_bit_proven t.drbg ~pk:joint bit)
+let noise_slots_proven ?tab t ~joint ~flips =
+  let rand =
+    Array.init flips (fun _ ->
+        let bit = Crypto.Drbg.uniform t.drbg 2 = 1 in
+        (bit, Crypto.Bit_proof.draw_rand t.drbg))
+  in
+  Parallel.parallel_init flips (fun i ->
+      let bit, br = rand.(i) in
+      Crypto.Bit_proof.encrypt_bit_proven_with ?pk_tab:tab ~pk:joint br bit)
 
 let shuffle t ~joint ~rounds vector =
   match rounds with
@@ -58,11 +70,11 @@ let shuffle t ~joint ~rounds vector =
    Enc(1) stays Enc(1); anything else becomes an encryption of a random
    non-identity element, unlinkable to its original value. *)
 let rerandomize_bits t vector =
-  Array.map
-    (fun ct ->
-      let k = 1 + Crypto.Drbg.uniform t.drbg (Crypto.Group.q - 1) in
-      Crypto.Elgamal.pow ct (Crypto.Group.exp_of_int k))
-    vector
+  let ks =
+    Array.init (Array.length vector) (fun _ ->
+        Crypto.Group.exp_of_int (1 + Crypto.Drbg.uniform t.drbg (Crypto.Group.q - 1)))
+  in
+  Parallel.parallel_init (Array.length vector) (fun i -> Crypto.Elgamal.pow vector.(i) ks.(i))
 
 type decryption_share = {
   cp_id : int;
@@ -71,15 +83,20 @@ type decryption_share = {
 }
 
 let decrypt_shares t ?(prove = true) vector =
-  let shares = Array.map (fun ct -> Crypto.Elgamal.partial_decrypt t.priv ct) vector in
+  let shares =
+    Parallel.parallel_map (fun ct -> Crypto.Elgamal.partial_decrypt t.priv ct) vector
+  in
   let proofs =
-    if prove then
+    if prove then begin
+      (* commitment nonces drawn sequentially, proofs computed on the pool *)
+      let ks =
+        Array.init (Array.length vector) (fun _ -> Crypto.Group.random_exp t.drbg)
+      in
       Some
-        (Array.map
-           (fun ct ->
-             Crypto.Sigma.dleq_prove t.drbg ~secret:t.priv ~base2:ct.Crypto.Elgamal.c1
-               ~context:"psc-decrypt")
-           vector)
+        (Parallel.parallel_init (Array.length vector) (fun i ->
+             Crypto.Sigma.dleq_prove_with ~k:ks.(i) ~secret:t.priv
+               ~base2:vector.(i).Crypto.Elgamal.c1 ~context:"psc-decrypt"))
+    end
     else None
   in
   { cp_id = t.id; shares; proofs }
@@ -91,14 +108,11 @@ let verify_decryption ~pub ~vector { shares; proofs; _ } =
     Array.length shares = Array.length vector
     && Array.length proofs = Array.length vector
     &&
-    let ok = ref true in
-    Array.iteri
-      (fun i proof ->
-        let ct = vector.(i) in
-        if
-          not
-            (Crypto.Sigma.dleq_verify ~public1:pub ~base2:ct.Crypto.Elgamal.c1
-               ~public2:shares.(i) ~context:"psc-decrypt" proof)
-        then ok := false)
-      proofs;
-    !ok
+    let public1_tab = Crypto.Group.precomp pub in
+    let oks =
+      Parallel.parallel_init (Array.length proofs) (fun i ->
+          Crypto.Sigma.dleq_verify ~public1_tab ~public1:pub
+            ~base2:vector.(i).Crypto.Elgamal.c1 ~public2:shares.(i) ~context:"psc-decrypt"
+            proofs.(i))
+    in
+    Array.for_all Fun.id oks

@@ -12,10 +12,14 @@ val id : t -> int
 val key_proof : t -> Crypto.Sigma.schnorr_proof
 val verify_key_proof : id:int -> pub:Crypto.Elgamal.pub -> Crypto.Sigma.schnorr_proof -> bool
 
-val noise_slots : t -> joint:Crypto.Elgamal.pub -> flips:int -> Crypto.Elgamal.ciphertext array
-(** [flips] fair coins, each encrypted as its own slot. *)
+val noise_slots :
+  ?tab:Crypto.Group.precomp ->
+  t -> joint:Crypto.Elgamal.pub -> flips:int -> Crypto.Elgamal.ciphertext array
+(** [flips] fair coins, each encrypted as its own slot. [?tab] is a
+    fixed-base table for [joint]. *)
 
 val noise_slots_proven :
+  ?tab:Crypto.Group.precomp ->
   t -> joint:Crypto.Elgamal.pub -> flips:int ->
   (Crypto.Elgamal.ciphertext * Crypto.Bit_proof.t) array
 (** Noise slots with per-slot disjunctive bit-validity proofs. *)

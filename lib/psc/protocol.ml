@@ -27,6 +27,7 @@ type t = {
   cfg : config;
   cps : Cp.t array;
   joint : Crypto.Elgamal.pub;
+  joint_tab : Crypto.Group.precomp; (* fixed-base table for [joint], built once per round *)
   round_key : string;
   tables : Table.t array;
   (* simulator-side ground truth of inserted items, for diagnostics *)
@@ -47,16 +48,18 @@ let create cfg ~num_dcs ~seed =
         failwith "Protocol.create: CP key proof rejected")
     cps;
   let joint = Crypto.Elgamal.joint_pub (Array.to_list (Array.map Cp.public_key cps)) in
+  let joint_tab = Crypto.Group.precomp joint in
   let round_key = Crypto.Sha256.digest (Printf.sprintf "psc-round-key|%d" seed) in
   let tables =
     Array.init num_dcs (fun dc ->
         let drbg = Crypto.Drbg.create (Printf.sprintf "psc-dc|%d|%d" seed dc) in
-        Table.create ~table_size:cfg.table_size ~key:round_key ~joint ~drbg)
+        Table.create ~tab:joint_tab ~table_size:cfg.table_size ~key:round_key ~joint ~drbg ())
   in
   {
     cfg;
     cps;
     joint;
+    joint_tab;
     round_key;
     tables;
     inserted = Array.init num_dcs (fun _ -> Hashtbl.create 256);
@@ -80,15 +83,22 @@ let true_union_size t =
     t.inserted;
   Hashtbl.length all
 
-let inserted_slots t ~dc =
+(* Distinct occupied slots across the given ground-truth tables —
+   shared by the per-DC diagnostic and the round-close telemetry. *)
+let occupied_slot_count t tables =
   let slots = Hashtbl.create 256 in
-  (* torlint: allow determinism/hashtbl-order — set image into [slots],
-     only its cardinality is read *)
-  Hashtbl.iter
-    (fun item () ->
-      Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
-    t.inserted.(dc);
+  Array.iter
+    (fun inserted ->
+      (* torlint: allow determinism/hashtbl-order — set image into
+         [slots], only its cardinality is read *)
+      Hashtbl.iter
+        (fun item () ->
+          Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
+        inserted)
+    tables;
   Hashtbl.length slots
+
+let inserted_slots t ~dc = occupied_slot_count t [| t.inserted.(dc) |]
 
 type result = {
   raw_nonzero : int;
@@ -105,17 +115,7 @@ type result = {
 let record_table_metrics t =
   if Obs.enabled () then begin
     let distinct = true_union_size t in
-    let slots = Hashtbl.create 1_024 in
-    Array.iter
-      (fun inserted ->
-        (* torlint: allow determinism/hashtbl-order — set image into
-           [slots], only its cardinality is read *)
-        Hashtbl.iter
-          (fun item () ->
-            Hashtbl.replace slots (Item.slot ~key:t.round_key ~table_size:t.cfg.table_size item) ())
-          inserted)
-      t.inserted;
-    let occupied = Hashtbl.length slots in
+    let occupied = occupied_slot_count t t.inserted in
     Obs.Metrics.set "psc_table_slots" (float_of_int t.cfg.table_size);
     Obs.Metrics.set "psc_table_occupied_slots" (float_of_int occupied);
     Obs.Metrics.set "psc_distinct_items" (float_of_int distinct);
@@ -127,11 +127,17 @@ let record_table_metrics t =
 let run t =
   if t.finished then invalid_arg "Protocol.run: round already run";
   record_table_metrics t;
+  (* Worker count for this round; all parallel phases below run on the
+     same pool. Obs calls stay on the orchestrating domain. *)
+  let jobs = Parallel.jobs () in
+  let jobs_attr = ("jobs", string_of_int jobs) in
+  Obs.Metrics.set "psc_parallel_jobs" (float_of_int jobs);
   Obs.Trace.with_span "psc.run"
     ~attrs:
       [ ("table_size", string_of_int t.cfg.table_size);
         ("cps", string_of_int (Array.length t.cps));
-        ("dcs", string_of_int (Array.length t.tables)) ]
+        ("dcs", string_of_int (Array.length t.tables));
+        jobs_attr ]
   @@ fun () ->
   t.finished <- true;
   let culprits = ref [] in
@@ -143,20 +149,24 @@ let run t =
   in
   (* 1. combine the DCs' tables into the encrypted union *)
   let combined =
-    Obs.Trace.with_span "psc.combine" (fun () -> Table.combine (Array.to_list t.tables))
+    Obs.Trace.with_span "psc.combine" ~attrs:[ jobs_attr ] (fun () ->
+        Table.combine (Array.to_list t.tables))
   in
   (* 2. every CP appends its encrypted noise bits; with verification on,
      each slot carries a disjunctive bit-validity proof checked here *)
   let tamper_drbg = Crypto.Drbg.create "psc-tamper" in
   let with_noise =
     Obs.Trace.with_span "psc.noise"
-      ~attrs:[ ("flips_per_cp", string_of_int t.cfg.noise_flips_per_cp) ]
+      ~attrs:[ ("flips_per_cp", string_of_int t.cfg.noise_flips_per_cp); jobs_attr ]
     @@ fun () ->
-    Array.fold_left
-      (fun vector cp ->
-        let slots =
+    let per_cp =
+      Array.map
+        (fun cp ->
           if t.cfg.verify then begin
-            let proven = Cp.noise_slots_proven cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp in
+            let proven =
+              Cp.noise_slots_proven ~tab:t.joint_tab cp ~joint:t.joint
+                ~flips:t.cfg.noise_flips_per_cp
+            in
             let proven =
               if tampering cp `Noise_nonbit && Array.length proven > 0 then begin
                 (* a Byzantine CP injects Enc(marker^2) as "noise" with a
@@ -172,23 +182,27 @@ let run t =
               end
               else proven
             in
-            Array.iter
-              (fun (ct, proof) ->
-                if not (Crypto.Bit_proof.verify ~pk:t.joint ct proof) then blame (Cp.id cp))
-              proven;
+            let oks =
+              Parallel.parallel_init (Array.length proven) (fun i ->
+                  let ct, proof = proven.(i) in
+                  Crypto.Bit_proof.verify ~pk_tab:t.joint_tab ~pk:t.joint ct proof)
+            in
+            if not (Array.for_all Fun.id oks) then blame (Cp.id cp);
             Array.map fst proven
           end
-          else Cp.noise_slots cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp
-        in
-        Array.append vector slots)
-      combined t.cps
+          else Cp.noise_slots ~tab:t.joint_tab cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp)
+        t.cps
+    in
+    (* single allocation + blits; the old fold re-copied the whole
+       vector once per CP *)
+    Array.concat (combined :: Array.to_list per_cp)
   in
   let total_flips = t.cfg.noise_flips_per_cp * Array.length t.cps in
   (* 3. shuffle/rerandomize pipeline, one pass per CP, proofs checked *)
   let shuffled =
     Array.fold_left
       (fun vector cp ->
-        let cp_attr = [ ("cp", string_of_int (Cp.id cp)) ] in
+        let cp_attr = [ ("cp", string_of_int (Cp.id cp)); jobs_attr ] in
         let output, proof =
           Obs.Trace.with_span "psc.shuffle" ~attrs:cp_attr (fun () ->
               Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector)
@@ -214,7 +228,7 @@ let run t =
   in
   (* 4. joint verifiable decryption *)
   let raw_nonzero = ref 0 in
-  Obs.Trace.with_span "psc.decrypt" (fun () ->
+  Obs.Trace.with_span "psc.decrypt" ~attrs:[ jobs_attr ] (fun () ->
       let shares =
         Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps
       in
@@ -224,12 +238,14 @@ let run t =
             if not (Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share) then
               blame (Cp.id cp))
           t.cps shares;
-      Array.iteri
-        (fun i ct ->
-          let partials = Array.to_list (Array.map (fun s -> s.Cp.shares.(i)) shares) in
-          let plain = Crypto.Elgamal.combine_partial ct partials in
+      let plains =
+        Crypto.Elgamal.combine_partial_all shuffled ~parties:(Array.length shares)
+          ~share:(fun p i -> shares.(p).Cp.shares.(i))
+      in
+      Array.iter
+        (fun plain ->
           if not (Crypto.Elgamal.is_identity_plaintext plain) then incr raw_nonzero)
-        shuffled);
+        plains);
   (* 5. estimate: subtract the noise mean, invert the occupancy bias *)
   let estimate, ci =
     Obs.Trace.with_span "psc.estimate" @@ fun () ->

@@ -9,23 +9,26 @@ type t = {
   slots : Crypto.Elgamal.ciphertext array;
   key : string;           (* round hash key, shared by all DCs *)
   joint : Crypto.Elgamal.pub;
+  tab : Crypto.Group.precomp; (* fixed-base table for [joint] *)
   drbg : Crypto.Drbg.t;
 }
 
-let create ~table_size ~key ~joint ~drbg =
-  {
-    slots =
-      Array.init table_size (fun _ -> Crypto.Elgamal.encrypt drbg joint Crypto.Elgamal.one);
-    key;
-    joint;
-    drbg;
-  }
+let create ?tab ~table_size ~key ~joint ~drbg () =
+  let tab = match tab with Some t -> t | None -> Crypto.Group.precomp joint in
+  (* Sequential prepass draws the per-slot randomness in slot order;
+     the encryptions themselves are pure and run on the domain pool. *)
+  let rs = Array.init table_size (fun _ -> Crypto.Group.random_exp drbg) in
+  let slots =
+    Parallel.parallel_init table_size (fun i ->
+        Crypto.Elgamal.encrypt_with ~tab ~r:rs.(i) joint Crypto.Elgamal.one)
+  in
+  { slots; key; joint; tab; drbg }
 
 let size t = Array.length t.slots
 
 let insert t item =
   let i = Item.slot ~key:t.key ~table_size:(Array.length t.slots) item in
-  t.slots.(i) <- Crypto.Elgamal.encrypt t.drbg t.joint Crypto.Elgamal.marker
+  t.slots.(i) <- Crypto.Elgamal.encrypt ~tab:t.tab t.drbg t.joint Crypto.Elgamal.marker
 
 (* Slot-wise homomorphic combination of the DCs' tables: identity *
    identity = identity, anything else is non-identity (the marker has
@@ -40,7 +43,7 @@ let combine tables =
     List.iter
       (fun t -> if size t <> n then invalid_arg "Table.combine: size mismatch")
       rest;
-    Array.init n (fun i ->
+    Parallel.parallel_init n (fun i ->
         List.fold_left
           (fun acc t -> Crypto.Elgamal.mul acc t.slots.(i))
           first.slots.(i) rest)

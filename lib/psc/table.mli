@@ -7,7 +7,10 @@
 type t
 
 val create :
-  table_size:int -> key:string -> joint:Crypto.Elgamal.pub -> drbg:Crypto.Drbg.t -> t
+  ?tab:Crypto.Group.precomp ->
+  table_size:int -> key:string -> joint:Crypto.Elgamal.pub -> drbg:Crypto.Drbg.t -> unit -> t
+(** [?tab] is a fixed-base table for [joint], shared across the DCs'
+    tables by the caller; built locally when absent. *)
 
 val size : t -> int
 val insert : t -> string -> unit

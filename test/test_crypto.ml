@@ -440,6 +440,111 @@ let test_shuffle_singleton () =
   Alcotest.(check int) "plaintext kept" (Group.elt_to_int Elgamal.marker)
     (Group.elt_to_int (Elgamal.decrypt sk output.(0)))
 
+(* --- fixed-base precomputation and batch inversion --- *)
+
+let test_precomp_matches_pow () =
+  let d = drbg () in
+  let b = Group.random_elt d in
+  let tab = Group.precomp b in
+  Alcotest.(check int) "base recorded" (Group.elt_to_int b)
+    (Group.elt_to_int (Group.precomp_base tab));
+  let check_exp e =
+    let e = Group.exp_of_int e in
+    Alcotest.(check int)
+      (Printf.sprintf "b^%d" (Group.exp_to_int e))
+      (Group.elt_to_int (Group.pow b e))
+      (Group.elt_to_int (Group.pow_precomp tab e))
+  in
+  (* window boundaries and the ends of the exponent range *)
+  List.iter check_exp [ 0; 1; 2; 255; 256; 257; 65_535; 65_536; Group.q - 2; Group.q - 1 ];
+  for _ = 1 to 200 do
+    check_exp (Drbg.uniform d Group.q)
+  done
+
+let test_pow_g_uses_g_table () =
+  (* pow_g is backed by the generator's table; it must still agree with
+     the generic square-and-multiply on every shape of exponent. *)
+  List.iter
+    (fun e ->
+      let e = Group.exp_of_int e in
+      Alcotest.(check int)
+        (Printf.sprintf "g^%d" (Group.exp_to_int e))
+        (Group.elt_to_int (Group.pow Group.g e))
+        (Group.elt_to_int (Group.pow_g e)))
+    [ 0; 1; 255; 256; 65_536; 16_777_216; Group.q - 1 ]
+
+let test_pow_tab_mismatch_rejected () =
+  let d = drbg () in
+  let b = Group.random_elt d in
+  let other = Group.mul b b in
+  let tab = Group.precomp b in
+  Alcotest.check_raises "mismatched base" (Invalid_argument "Group.pow_tab: table base mismatch")
+    (fun () -> ignore (Group.pow_tab ~tab other Group.one_exp))
+
+let test_batch_inv_matches_inv () =
+  let d = drbg () in
+  let xs = Array.init 257 (fun _ -> Group.random_elt d) in
+  let invs = Group.batch_inv xs in
+  Alcotest.(check int) "length" (Array.length xs) (Array.length invs);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check int)
+        (Printf.sprintf "inv %d" i)
+        (Group.elt_to_int (Group.inv x))
+        (Group.elt_to_int invs.(i)))
+    xs
+
+let test_batch_inv_edge_cases () =
+  Alcotest.(check int) "empty" 0 (Array.length (Group.batch_inv [||]));
+  let one = Group.batch_inv [| Group.g |] in
+  Alcotest.(check int) "singleton" (Group.elt_to_int (Group.inv Group.g))
+    (Group.elt_to_int one.(0));
+  let id = Group.batch_inv [| Group.one |] in
+  Alcotest.(check int) "identity" (Group.elt_to_int Group.one) (Group.elt_to_int id.(0))
+
+let test_encrypt_with_tab_identical () =
+  (* the fixed-base path must produce byte-identical ciphertexts *)
+  let d1 = drbg () and d2 = drbg () in
+  let _, pk = Elgamal.keygen d1 in
+  let _, pk' = Elgamal.keygen d2 in
+  assert (Group.elt_to_int pk = Group.elt_to_int pk');
+  let tab = Group.precomp pk in
+  for i = 0 to 49 do
+    let m = if i mod 2 = 0 then Elgamal.one else Elgamal.marker in
+    let a = Elgamal.encrypt d1 pk m in
+    let b = Elgamal.encrypt ~tab d2 pk m in
+    Alcotest.(check int) "c1" (Group.elt_to_int a.Elgamal.c1) (Group.elt_to_int b.Elgamal.c1);
+    Alcotest.(check int) "c2" (Group.elt_to_int a.Elgamal.c2) (Group.elt_to_int b.Elgamal.c2)
+  done
+
+let test_combine_partial_arr_agrees () =
+  let d = drbg () in
+  let keys = List.init 3 (fun _ -> Elgamal.keygen d) in
+  let joint = Elgamal.joint_pub (List.map snd keys) in
+  let m = Group.random_elt d in
+  let ct = Elgamal.encrypt d joint m in
+  let shares = List.map (fun (sk, _) -> Elgamal.partial_decrypt sk ct) keys in
+  Alcotest.(check int) "list = array"
+    (Group.elt_to_int (Elgamal.combine_partial ct shares))
+    (Group.elt_to_int (Elgamal.combine_partial_arr ct (Array.of_list shares)));
+  let cts = Array.init 17 (fun i -> Elgamal.encrypt d joint (if i mod 2 = 0 then m else Elgamal.one)) in
+  let share_tensor =
+    List.map (fun (sk, _) -> Array.map (Elgamal.partial_decrypt sk) cts) keys |> Array.of_list
+  in
+  let plains =
+    Elgamal.combine_partial_all cts ~parties:(Array.length share_tensor)
+      ~share:(fun p i -> share_tensor.(p).(i))
+  in
+  Array.iteri
+    (fun i ct ->
+      Alcotest.(check int)
+        (Printf.sprintf "slot %d" i)
+        (Group.elt_to_int
+           (Elgamal.combine_partial ct
+              (List.map (fun (sk, _) -> Elgamal.partial_decrypt sk ct) keys)))
+        (Group.elt_to_int plains.(i)))
+    cts
+
 (* --- qcheck properties --- *)
 
 let prop_elgamal_roundtrip =
@@ -502,6 +607,16 @@ let prop_bit_proof_sound =
       let ct, proof = Bit_proof.encrypt_bit_proven d ~pk bit in
       Bit_proof.verify ~pk ct proof)
 
+let prop_pow_precomp_agrees =
+  QCheck.Test.make ~name:"fixed-base precomp = generic pow" ~count:100
+    QCheck.(pair small_int int)
+    (fun (seed, x) ->
+      let d = Drbg.create (string_of_int seed) in
+      let b = Group.random_elt d in
+      let tab = Group.precomp b in
+      let e = Group.exp_of_int x in
+      Group.elt_to_int (Group.pow_precomp tab e) = Group.elt_to_int (Group.pow b e))
+
 let prop_additive_sharing =
   QCheck.Test.make ~name:"additive sharing roundtrip" ~count:200
     QCheck.(pair small_int (int_bound 1_000_000))
@@ -539,6 +654,11 @@ let () =
           Alcotest.test_case "elt_of_int rejects" `Quick test_elt_of_int_rejects;
           Alcotest.test_case "hash_to_exp" `Quick test_hash_to_exp_stable;
           Alcotest.test_case "hash_to_elt member" `Quick test_hash_to_elt_member;
+          Alcotest.test_case "precomp matches pow" `Quick test_precomp_matches_pow;
+          Alcotest.test_case "pow_g via g table" `Quick test_pow_g_uses_g_table;
+          Alcotest.test_case "pow_tab mismatch rejected" `Quick test_pow_tab_mismatch_rejected;
+          Alcotest.test_case "batch_inv matches inv" `Quick test_batch_inv_matches_inv;
+          Alcotest.test_case "batch_inv edge cases" `Quick test_batch_inv_edge_cases;
         ] );
       ( "elgamal",
         [
@@ -548,6 +668,8 @@ let () =
           Alcotest.test_case "pow bit invariant" `Quick test_elgamal_pow_identity_invariant;
           Alcotest.test_case "joint decryption" `Quick test_elgamal_joint_decryption;
           Alcotest.test_case "missing share fails" `Quick test_elgamal_joint_missing_share_fails;
+          Alcotest.test_case "encrypt with table identical" `Quick test_encrypt_with_tab_identical;
+          Alcotest.test_case "combine_partial_arr agrees" `Quick test_combine_partial_arr_agrees;
         ] );
       ( "pedersen",
         [
@@ -590,7 +712,8 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
-            prop_elgamal_roundtrip; prop_group_pow_cycle; prop_additive_sharing;
+            prop_elgamal_roundtrip; prop_group_pow_cycle; prop_pow_precomp_agrees;
+            prop_additive_sharing;
             prop_sha256_incremental; prop_shuffle_preserves_plaintext_multiset;
             prop_schnorr_sig_sound; prop_bit_proof_sound;
           ] );

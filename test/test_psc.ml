@@ -202,8 +202,8 @@ let test_table_privacy_structure () =
      the same items but different DRBGs share no ciphertext *)
   let drbg1 = Crypto.Drbg.create "t1" and drbg2 = Crypto.Drbg.create "t2" in
   let _, pub = Crypto.Elgamal.keygen (Crypto.Drbg.create "key") in
-  let t1 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg1 in
-  let t2 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg2 in
+  let t1 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg1 () in
+  let t2 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg2 () in
   Table.insert t1 "x";
   Table.insert t2 "x";
   let c = Table.combine [ t1; t2 ] in
@@ -241,6 +241,45 @@ let test_larger_union_estimates_monotone () =
     (Printf.sprintf "monotone (%.0f < %.0f < %.0f)" e100 e500 e1000)
     true
     (e100 < e500 && e500 < e1000)
+
+let test_combine_size_mismatch_rejected () =
+  let drbg1 = Crypto.Drbg.create "m1" and drbg2 = Crypto.Drbg.create "m2" in
+  let _, pub = Crypto.Elgamal.keygen (Crypto.Drbg.create "mk") in
+  let t1 = Table.create ~table_size:64 ~key:"k" ~joint:pub ~drbg:drbg1 () in
+  let t2 = Table.create ~table_size:32 ~key:"k" ~joint:pub ~drbg:drbg2 () in
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Table.combine: size mismatch")
+    (fun () -> ignore (Table.combine [ t1; t2 ]));
+  Alcotest.check_raises "no tables" (Invalid_argument "Table.combine: no tables") (fun () ->
+      ignore (Table.combine []))
+
+(* The central invariant of the parallel kernels: a full verified round
+   at jobs=4 is bit-identical to jobs=1 — same raw count, estimate,
+   interval, and proof outcomes. *)
+let prop_jobs_invariant =
+  QCheck.Test.make ~name:"run identical at jobs=1 and jobs=4" ~count:6
+    QCheck.(pair (int_range 1 50) (int_range 0 120))
+    (fun (seed, n) ->
+      let run_at jobs =
+        let before = Parallel.jobs () in
+        Parallel.set_jobs jobs;
+        Fun.protect
+          ~finally:(fun () -> Parallel.set_jobs before)
+          (fun () ->
+            let cfg = config ~table_size:256 ~flips:8 ~proof_rounds:(Some 4) ~verify:true () in
+            let proto = Protocol.create cfg ~num_dcs:2 ~seed in
+            for i = 0 to n - 1 do
+              Protocol.insert proto ~dc:(i mod 2) (Printf.sprintf "i%d" i)
+            done;
+            Protocol.run proto)
+      in
+      let a = run_at 1 and b = run_at 4 in
+      a.Protocol.raw_nonzero = b.Protocol.raw_nonzero
+      && a.Protocol.total_flips = b.Protocol.total_flips
+      && Float.equal a.Protocol.estimate b.Protocol.estimate
+      && Float.equal a.Protocol.ci.Stats.Ci.lo b.Protocol.ci.Stats.Ci.lo
+      && Float.equal a.Protocol.ci.Stats.Ci.hi b.Protocol.ci.Stats.Ci.hi
+      && a.Protocol.proofs_ok = b.Protocol.proofs_ok
+      && a.Protocol.culprits = b.Protocol.culprits)
 
 let prop_estimate_tracks_truth =
   QCheck.Test.make ~name:"estimate within noise of true union" ~count:8
@@ -310,6 +349,9 @@ let () =
         [
           Alcotest.test_case "table structure" `Quick test_table_privacy_structure;
           Alcotest.test_case "bit rerandomization" `Quick test_cp_bit_rerandomization;
+          Alcotest.test_case "combine size mismatch" `Quick test_combine_size_mismatch_rejected;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_estimate_tracks_truth ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_estimate_tracks_truth; prop_jobs_invariant ] );
     ]
