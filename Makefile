@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-quick clean
+.PHONY: all build test lint check bench bench-quick bench-diff clean
 
 all: build
 
@@ -21,6 +21,13 @@ bench:
 # writes BENCH_<timestamp>.json
 bench-quick:
 	dune exec bench/main.exe -- --perf-only
+
+# compare two benchmark snapshots kernel by kernel, e.g.
+#   make bench-diff BASE=BENCH_1700000000.json NEW=BENCH_1700000100.json
+bench-diff:
+	@test -n "$(BASE)" && test -n "$(NEW)" \
+		|| { echo "usage: make bench-diff BASE=<a>.json NEW=<b>.json"; exit 1; }
+	dune exec bin/bench_diff.exe -- $(BASE) $(NEW)
 
 clean:
 	dune clean

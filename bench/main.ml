@@ -197,6 +197,100 @@ let kernel_shuffle_proof_rounds =
   ( "scaling/shuffle-64-rounds16",
     fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:16 fixture_drbg pk cts) )
 
+(* --- whole-network ingestion throughput --- *)
+
+(* A sharded ~100k-event network day: every client's daily behaviour
+   plus exit visits, every relay observation through the counter
+   ingestion path, shards merged in order (bit-identical at any
+   --jobs). Tracks events/sec for the whole system, not a crypto
+   kernel: ns_per_run / 1e5 ~= ns per ingested event. *)
+let netday_config =
+  { Tormeasure.Netday.default with Tormeasure.Netday.clients = 550; shards = 8; relays = 120 }
+
+let kernel_netday =
+  ("scaling/network-day-100k", fun () -> ignore (Tormeasure.Netday.run ~config:netday_config ~seed:3 ()))
+
+(* Pure ingestion replay: a fixed 100k-event trace (connections,
+   circuits, bytes, exit streams over a 512-hostname pool) pushed
+   through a PrivCount deployment sink. No workload generation in the
+   timed loop — this is the per-event dispatch + classification +
+   counter-update cost in isolation. *)
+let ingest_hosts =
+  Array.init 512 (fun i ->
+      match i land 3 with
+      | 0 -> Printf.sprintf "www.s%d.com" i
+      | 1 -> Printf.sprintf "s%d.co.uk" i
+      | 2 -> Printf.sprintf "cdn%d.t%d.com" (i land 31) (i lsr 5)
+      | _ -> Printf.sprintf "host%d.internal" i)
+
+let ingest_trace =
+  lazy
+    (Array.init 100_000 (fun i ->
+         match i mod 8 with
+         | 0 -> Torsim.Event.Client_connection { client_ip = i; country = "US"; asn = 7922 }
+         | 1 | 2 ->
+           Torsim.Event.Client_circuit
+             { client_ip = i; country = "DE"; asn = 3320; kind = Torsim.Event.Data_circuit }
+         | 3 ->
+           Torsim.Event.Entry_bytes
+             { client_ip = i; country = "FR"; asn = 3215; bytes = float_of_int ((i land 1023) * 4096) }
+         | 4 ->
+           Torsim.Event.Exit_stream
+             { kind = Torsim.Event.Subsequent; dest = Torsim.Event.Hostname ingest_hosts.(i land 511); port = 443 }
+         | _ ->
+           Torsim.Event.Exit_stream
+             {
+               kind = Torsim.Event.Initial;
+               dest = Torsim.Event.Hostname ingest_hosts.(i * 7 land 511);
+               port = (if i land 15 = 0 then 22 else 443);
+             }))
+
+let ingest_counters =
+  [ "conns"; "circs"; "bytes_mib"; "streams"; "streams:web"; "sld:known"; "sld:unknown";
+    "tld:com"; "tld:other" ]
+
+let ingest_sink =
+  lazy
+    (let deployment =
+       Privcount.Deployment.create
+         (Privcount.Deployment.config ~split_budget:false
+            (List.map (fun name -> Privcount.Counter.spec ~name ~sensitivity:1.0) ingest_counters))
+         ~num_dcs:1 ~seed:17
+     in
+     let id = Privcount.Deployment.counter_id deployment in
+     let c_conns = id "conns" and c_circs = id "circs" and c_bytes = id "bytes_mib" in
+     let c_streams = id "streams" and c_web = id "streams:web" in
+     let c_known = id "sld:known" and c_unknown = id "sld:unknown" in
+     let c_com = id "tld:com" and c_other = id "tld:other" in
+     Privcount.Deployment.sink_for deployment ~dc:0 (fun emit event ->
+         match event with
+         | Torsim.Event.Client_connection _ -> emit c_conns 1
+         | Torsim.Event.Client_circuit _ -> emit c_circs 1
+         | Torsim.Event.Entry_bytes { bytes; _ } ->
+           emit c_bytes (int_of_float (bytes /. 1_048_576.0))
+         | Torsim.Event.Exit_stream { kind = Torsim.Event.Subsequent; _ } -> emit c_streams 1
+         | Torsim.Event.Exit_stream
+             { kind = Torsim.Event.Initial; dest = Torsim.Event.Hostname h; port } ->
+           emit c_streams 1;
+           if Torsim.Event.is_web_port port then emit c_web 1;
+           emit
+             (match Workload.Suffix.registered_domain h with
+             | Some _ -> c_known
+             | None -> c_unknown)
+             1;
+           emit
+             (match Workload.Suffix.top_level_domain h with
+             | Some "com" -> c_com
+             | Some _ | None -> c_other)
+             1
+         | _ -> ()))
+
+let kernel_ingest =
+  ( "scaling/ingest-replay-100k",
+    fun () ->
+      let sink = Lazy.force ingest_sink in
+      Array.iter sink (Lazy.force ingest_trace) )
+
 let kernel_gaussian =
   ( "dp/gaussian-mechanism",
     fun () ->
@@ -210,6 +304,7 @@ let all_kernels =
     kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
     kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle; kernel_gaussian;
     kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds; kernel_psc_16k;
+    kernel_netday; kernel_ingest;
   ]
 
 (* One post-timing run with telemetry on: what did this kernel touch?

@@ -1,0 +1,87 @@
+(* Compare two BENCH_<ts>.json files kernel by kernel.
+
+     bench-diff BASE.json NEW.json
+
+   Prints ns/run for every kernel present in both files with the
+   speedup factor (base/new: >1 is faster), and lists kernels present
+   in only one file. Exit code is always 0 — the CI step that runs this
+   is informational, not a gate (machine-to-machine timing noise would
+   make a hard threshold flaky). *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error e -> fail "bench-diff: %s" e
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+(* The bench writer puts each kernel object on one line:
+     {"name": "...", "ns_per_run": 123.4, "metrics": {...}},
+   so a line-oriented scan is enough — no JSON dependency. *)
+let parse_kernels path =
+  let text = read_file path in
+  let kernels = ref [] in
+  List.iter
+    (fun line ->
+      let find_after key =
+        let rec search from =
+          if from + String.length key > String.length line then None
+          else if String.sub line from (String.length key) = key then
+            Some (from + String.length key)
+          else search (from + 1)
+        in
+        search 0
+      in
+      match find_after "\"name\": \"" with
+      | None -> ()
+      | Some name_start -> (
+        match String.index_from_opt line name_start '"' with
+        | None -> ()
+        | Some name_end -> (
+          let name = String.sub line name_start (name_end - name_start) in
+          match find_after "\"ns_per_run\": " with
+          | None -> ()
+          | Some v_start ->
+            let v_end = ref v_start in
+            while
+              !v_end < String.length line
+              && (match line.[!v_end] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+            do
+              incr v_end
+            done;
+            (match float_of_string_opt (String.sub line v_start (!v_end - v_start)) with
+            | Some ns -> kernels := (name, ns) :: !kernels
+            | None -> ()))))
+    (String.split_on_char '\n' text);
+  List.rev !kernels
+
+let () =
+  let base_path, new_path =
+    match Sys.argv with
+    | [| _; b; n |] -> (b, n)
+    | _ -> fail "usage: bench-diff BASE.json NEW.json"
+  in
+  let base = parse_kernels base_path and next = parse_kernels new_path in
+  if base = [] then fail "bench-diff: no kernels parsed from %s" base_path;
+  if next = [] then fail "bench-diff: no kernels parsed from %s" new_path;
+  Printf.printf "%-42s %14s %14s %9s\n" "kernel" "base ns/run" "new ns/run" "speedup";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let missing_new = ref [] in
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name next with
+      | None -> missing_new := name :: !missing_new
+      | Some new_ns ->
+        let speedup = if new_ns > 0.0 then base_ns /. new_ns else infinity in
+        Printf.printf "%-42s %14.1f %14.1f %8.2fx%s\n" name base_ns new_ns speedup
+          (if speedup >= 1.10 then "  faster" else if speedup <= 0.90 then "  SLOWER" else ""))
+    base;
+  let only_new =
+    List.filter (fun (name, _) -> not (List.mem_assoc name base)) next
+  in
+  List.iter (fun name -> Printf.printf "%-42s only in %s\n" name base_path) (List.rev !missing_new);
+  List.iter (fun (name, _) -> Printf.printf "%-42s only in %s\n" name new_path) only_new

@@ -108,6 +108,48 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print paper-vs-measured rows")
     Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ jobs_arg)
 
+let netday_cmd =
+  let clients_arg =
+    let doc = "Selective clients in the simulated population." in
+    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.clients
+         & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Fixed shard count (independent of $(b,--jobs); results identical at any value)." in
+    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.shards
+         & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let relays_arg =
+    let doc = "Relays in the generated consensus." in
+    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.relays
+         & info [ "relays" ] ~docv:"N" ~doc)
+  in
+  let run seed jobs clients shards relays metrics trace =
+    apply_jobs jobs;
+    obs_start ~metrics ~trace;
+    let config =
+      { Tormeasure.Netday.default with Tormeasure.Netday.clients; shards; relays }
+    in
+    let t0 = Obs.Trace.now () in
+    let r = Tormeasure.Netday.run ~config ~seed () in
+    let dt = Obs.Trace.now () -. t0 in
+    Printf.printf "network day: %d events through ingestion in %.3fs (%.0f events/sec)\n"
+      r.Tormeasure.Netday.events dt
+      (float_of_int r.Tormeasure.Netday.events /. max 1e-9 dt);
+    Printf.printf "%d shards, per-shard events: %s\n" shards
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int r.Tormeasure.Netday.per_shard_events)));
+    List.iter (fun (name, v) -> Printf.printf "  %-20s %d\n" name v) r.Tormeasure.Netday.tallies;
+    obs_finish ~metrics ~trace
+  in
+  Cmd.v
+    (Cmd.info "netday"
+       ~doc:
+         "Run one sharded whole-network day through the event ingestion path and report \
+          events/sec. Deterministic per seed at any $(b,--jobs).")
+    Term.(const run $ seed_arg $ jobs_arg $ clients_arg $ shards_arg $ relays_arg $ metrics_arg
+          $ trace_arg)
+
 let ablations_cmd =
   let run () = List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ()) in
   Cmd.v (Cmd.info "ablations" ~doc:"Run the methodology ablation studies")
@@ -133,4 +175,4 @@ let run_all_cmd =
 
 let () =
   let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd ]))

@@ -60,13 +60,26 @@ let measure ?(psc_unique = false) ~seed ~visits ~bins ~classify () =
       (Privcount.Deployment.config ~split_budget:false specs)
       ~num_dcs:(List.length observer_ids) ~seed
   in
-  let mapping = function
+  (* Bin labels resolve to counter ids once; per event there is one
+     classify call and one small-table lookup, no "<name>:<bin>" string
+     building. Bins outside the round's set are dropped, matching the
+     name-based path's behaviour. *)
+  let bin_ids = Hashtbl.create (2 * List.length bins) in
+  List.iter
+    (fun bin ->
+      Hashtbl.replace bin_ids bin
+        (Privcount.Deployment.counter_id deployment
+           (Privcount.Counter.bin_name ~name:"domains" ~bin)))
+    bins;
+  let sink emit = function
     | Torsim.Event.Exit_stream { kind = Torsim.Event.Initial; dest = Torsim.Event.Hostname h; port }
-      when Torsim.Event.is_web_port port ->
-      [ (Privcount.Counter.bin_name ~name:"domains" ~bin:(classify h), 1) ]
-    | _ -> []
+      when Torsim.Event.is_web_port port -> (
+      match Hashtbl.find_opt bin_ids (classify h) with
+      | Some id -> emit id 1
+      | None -> ())
+    | _ -> ()
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids ~sink;
   let psc_proto =
     if not psc_unique then None
     else begin

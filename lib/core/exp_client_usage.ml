@@ -31,13 +31,16 @@ let run ?(seed = 46) ?(clients = 40_000) () =
     Privcount.Deployment.create (Privcount.Deployment.config specs)
       ~num_dcs:(List.length observer_ids) ~seed
   in
-  let mapping = function
-    | Torsim.Event.Client_connection _ -> [ ("connections", 1) ]
-    | Torsim.Event.Client_circuit _ -> [ ("circuits", 1) ]
-    | Torsim.Event.Entry_bytes { bytes; _ } -> [ ("bytes", int_of_float bytes) ]
-    | _ -> []
+  let c_conns = Privcount.Deployment.counter_id deployment "connections" in
+  let c_circs = Privcount.Deployment.counter_id deployment "circuits" in
+  let c_bytes = Privcount.Deployment.counter_id deployment "bytes" in
+  let sink emit = function
+    | Torsim.Event.Client_connection _ -> emit c_conns 1
+    | Torsim.Event.Client_circuit _ -> emit c_circs 1
+    | Torsim.Event.Entry_bytes { bytes; _ } -> emit c_bytes (int_of_float bytes)
+    | _ -> ()
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids ~sink;
   let population =
     Workload.Population.build
       ~config:

@@ -35,17 +35,20 @@ let run ?(seed = 51) ?(fetches = 250_000) () =
       (Privcount.Deployment.config ~split_budget:false specs)
       ~num_dcs:(List.length observers) ~seed
   in
-  let mapping = function
+  let id = Privcount.Deployment.counter_id deployment in
+  let c_total = id "fetch_total" and c_ok = id "fetch_ok" and c_fail = id "fetch_fail" in
+  let c_public = id "fetch_ok_public" and c_unknown = id "fetch_ok_unknown" in
+  let sink emit = function
     | Torsim.Event.Descriptor_fetch { result; _ } -> (
-      ("fetch_total", 1)
-      ::
-      (match result with
+      emit c_total 1;
+      match result with
       | Torsim.Event.Fetch_ok { public } ->
-        [ ("fetch_ok", 1); ((if public then "fetch_ok_public" else "fetch_ok_unknown"), 1) ]
-      | Torsim.Event.Fetch_missing | Torsim.Event.Fetch_malformed -> [ ("fetch_fail", 1) ]))
-    | _ -> []
+        emit c_ok 1;
+        emit (if public then c_public else c_unknown) 1
+      | Torsim.Event.Fetch_missing | Torsim.Event.Fetch_malformed -> emit c_fail 1)
+    | _ -> ()
   in
-  Harness.attach_privcount setup deployment ~observer_ids:observers ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids:observers ~sink;
   let config =
     { Workload.Onion_activity.default with Workload.Onion_activity.total_fetches = fetches }
   in

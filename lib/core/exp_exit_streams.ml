@@ -14,22 +14,28 @@ let counters =
   [ "streams"; "streams_initial"; "initial_hostname"; "initial_ipv4"; "initial_ipv6";
     "hostname_web"; "hostname_other" ]
 
-let mapping event =
-  match event with
-  | Torsim.Event.Exit_stream { kind; dest; port } ->
-    let base = [ ("streams", 1) ] in
-    if kind = Torsim.Event.Initial then
-      base
-      @ [ ("streams_initial", 1) ]
-      @ (match dest with
+(* Push-style sink over pre-resolved counter ids: one branch chain per
+   event, no increment lists. *)
+let sink deployment =
+  let id = Privcount.Deployment.counter_id deployment in
+  let c_streams = id "streams" and c_initial = id "streams_initial" in
+  let c_hostname = id "initial_hostname" in
+  let c_ipv4 = id "initial_ipv4" and c_ipv6 = id "initial_ipv6" in
+  let c_web = id "hostname_web" and c_other = id "hostname_other" in
+  fun emit event ->
+    match event with
+    | Torsim.Event.Exit_stream { kind; dest; port } ->
+      emit c_streams 1;
+      if kind = Torsim.Event.Initial then begin
+        emit c_initial 1;
+        match dest with
         | Torsim.Event.Hostname _ ->
-          ("initial_hostname", 1)
-          :: (if Torsim.Event.is_web_port port then [ ("hostname_web", 1) ]
-              else [ ("hostname_other", 1) ])
-        | Torsim.Event.Ipv4_literal -> [ ("initial_ipv4", 1) ]
-        | Torsim.Event.Ipv6_literal -> [ ("initial_ipv6", 1) ])
-    else base
-  | _ -> []
+          emit c_hostname 1;
+          if Torsim.Event.is_web_port port then emit c_web 1 else emit c_other 1
+        | Torsim.Event.Ipv4_literal -> emit c_ipv4 1
+        | Torsim.Event.Ipv6_literal -> emit c_ipv6 1
+      end
+    | _ -> ()
 
 let run ?(seed = 42) ?(visits = 150_000) () =
   let setup = Harness.make_setup ~seed () in
@@ -51,7 +57,7 @@ let run ?(seed = 42) ?(visits = 150_000) () =
       (Privcount.Deployment.config ~split_budget:false specs)
       ~num_dcs:(List.length observer_ids) ~seed
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids ~sink:(sink deployment);
   let population =
     Workload.Population.build
       ~config:{ Workload.Population.default with Workload.Population.selective = 2_000; promiscuous = 0 }

@@ -28,16 +28,26 @@ let run ?(seed = 49) ?(clients = 60_000) () =
       ~num_dcs:(List.length observer_ids) ~seed
   in
   let bin_of country = if List.mem country tracked then country else "other" in
-  let mapping = function
-    | Torsim.Event.Client_connection { country; _ } ->
-      [ (Privcount.Counter.bin_name ~name:"conns" ~bin:(bin_of country), 1) ]
-    | Torsim.Event.Client_circuit { country; _ } ->
-      [ (Privcount.Counter.bin_name ~name:"circs" ~bin:(bin_of country), 1) ]
-    | Torsim.Event.Entry_bytes { country; bytes; _ } ->
-      [ (Privcount.Counter.bin_name ~name:"bytes" ~bin:(bin_of country), int_of_float bytes) ]
-    | _ -> []
+  (* One country-bin -> counter-id table per metric, resolved once; the
+     per-event path is a small-table lookup plus an emit. *)
+  let ids_for name =
+    let tbl = Hashtbl.create (2 * List.length bins) in
+    List.iter
+      (fun bin ->
+        Hashtbl.replace tbl bin
+          (Privcount.Deployment.counter_id deployment (Privcount.Counter.bin_name ~name ~bin)))
+      bins;
+    fun country -> Hashtbl.find tbl (bin_of country)
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  let conns_id = ids_for "conns" and circs_id = ids_for "circs" and bytes_id = ids_for "bytes" in
+  let sink emit = function
+    | Torsim.Event.Client_connection { country; _ } -> emit (conns_id country) 1
+    | Torsim.Event.Client_circuit { country; _ } -> emit (circs_id country) 1
+    | Torsim.Event.Entry_bytes { country; bytes; _ } ->
+      emit (bytes_id country) (int_of_float bytes)
+    | _ -> ()
+  in
+  Harness.attach_privcount setup deployment ~observer_ids ~sink;
   let population =
     Workload.Population.build
       ~config:

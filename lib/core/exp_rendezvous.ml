@@ -33,17 +33,22 @@ let run ?(seed = 52) ?(rend_circuits = 200_000) () =
       (Privcount.Deployment.config ~split_budget:false specs)
       ~num_dcs:(List.length observer_ids) ~seed
   in
-  let mapping = function
+  let id = Privcount.Deployment.counter_id deployment in
+  let c_total = id "rend_total" and c_success = id "rend_success" in
+  let c_closed = id "rend_closed" and c_expired = id "rend_expired" in
+  let c_cells = id "rend_cells" in
+  let sink emit = function
     | Torsim.Event.Rendezvous_circuit { outcome } -> (
-      ("rend_total", 1)
-      ::
-      (match outcome with
-      | Torsim.Event.Rend_success { cells } -> [ ("rend_success", 1); ("rend_cells", cells) ]
-      | Torsim.Event.Rend_closed -> [ ("rend_closed", 1) ]
-      | Torsim.Event.Rend_expired -> [ ("rend_expired", 1) ]))
-    | _ -> []
+      emit c_total 1;
+      match outcome with
+      | Torsim.Event.Rend_success { cells } ->
+        emit c_success 1;
+        emit c_cells cells
+      | Torsim.Event.Rend_closed -> emit c_closed 1
+      | Torsim.Event.Rend_expired -> emit c_expired 1)
+    | _ -> ()
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids ~sink;
   let config =
     { Workload.Onion_activity.default with Workload.Onion_activity.rend_total = rend_circuits }
   in

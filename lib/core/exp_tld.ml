@@ -36,13 +36,23 @@ let measure ~seed ~visits ~bins ~classify ~target_fraction =
       (Privcount.Deployment.config ~split_budget:false specs)
       ~num_dcs:(List.length observer_ids) ~seed
   in
-  let mapping = function
+  (* bin -> id resolved once; unknown bins dropped like the name path *)
+  let bin_ids = Hashtbl.create (2 * List.length bins) in
+  List.iter
+    (fun bin ->
+      Hashtbl.replace bin_ids bin
+        (Privcount.Deployment.counter_id deployment
+           (Privcount.Counter.bin_name ~name:"tld" ~bin)))
+    bins;
+  let sink emit = function
     | Torsim.Event.Exit_stream { kind = Torsim.Event.Initial; dest = Torsim.Event.Hostname h; port }
-      when Torsim.Event.is_web_port port ->
-      [ (Privcount.Counter.bin_name ~name:"tld" ~bin:(classify h), 1) ]
-    | _ -> []
+      when Torsim.Event.is_web_port port -> (
+      match Hashtbl.find_opt bin_ids (classify h) with
+      | Some id -> emit id 1
+      | None -> ())
+    | _ -> ()
   in
-  Harness.attach_privcount setup deployment ~observer_ids ~mapping;
+  Harness.attach_privcount setup deployment ~observer_ids ~sink;
   let population =
     Workload.Population.build
       ~config:{ Workload.Population.default with Workload.Population.selective = 1_000; promiscuous = 0 }

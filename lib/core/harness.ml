@@ -44,13 +44,16 @@ let observers setup ~role ~target_fraction =
   end;
   (ids, fraction)
 
-(* Attach a PrivCount deployment: one DC per observer relay; [mapping]
-   turns an observation event into counter increments. *)
-let attach_privcount setup deployment ~observer_ids ~mapping =
+(* Attach a PrivCount deployment: one DC per observer relay. [sink] is
+   push-style — [sink emit event] calls [emit id by] per increment,
+   with counter ids resolved once at wiring time via
+   [Deployment.counter_id] — so steady-state dispatch allocates
+   nothing. *)
+let attach_privcount setup deployment ~observer_ids ~sink =
   List.iteri
     (fun dc relay_id ->
       Torsim.Engine.add_sink setup.engine relay_id
-        (Privcount.Deployment.handler deployment ~dc mapping))
+        (Privcount.Deployment.sink_for deployment ~dc sink))
     observer_ids
 
 (* Attach a PSC deployment: events mapped to items inserted at the

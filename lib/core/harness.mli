@@ -18,9 +18,10 @@ val observers :
 
 val attach_privcount :
   setup -> Privcount.Deployment.t -> observer_ids:Torsim.Relay.id list ->
-  mapping:(Torsim.Event.t -> (string * int) list) -> unit
-(** One DC per observer relay; [mapping] turns events into counter
-    increments. *)
+  sink:(Privcount.Deployment.emit -> Torsim.Event.t -> unit) -> unit
+(** One DC per observer relay; [sink emit event] pushes increments by
+    interned counter id (resolve ids once with
+    [Privcount.Deployment.counter_id]) — no per-event allocation. *)
 
 val attach_psc :
   setup -> Psc.Protocol.t -> observer_ids:Torsim.Relay.id list ->

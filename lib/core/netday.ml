@@ -1,0 +1,192 @@
+(* Sharded whole-network-day driver.
+
+   One "network day" = every client in a simulated population runs its
+   daily behaviour (guard connections, circuits, directory activity,
+   entry bytes) plus a batch of exit website visits, and every emitted
+   relay observation flows through the event->counter ingestion path.
+   This is the system's throughput ceiling: the paper's deployment saw
+   hundreds of millions of relay events per epoch, so the ingestion
+   machinery — not the crypto — bounds how large a network we can
+   simulate and measure.
+
+   Scaling strategy: the client population is partitioned into a FIXED
+   number of shards (independent of the worker-pool size). Each shard
+   owns a private engine, ground truth, PRNG streams and counter
+   accumulator; shards run on the lib/parallel domain pool and are
+   merged in shard index order. Because the shard structure and every
+   per-shard seed depend only on (seed, shard index), the merged result
+   is bit-identical at any --jobs — the same determinism contract as
+   the aggregation pipelines (DESIGN.md §3c). *)
+
+type config = {
+  relays : int;
+  clients : int;            (* selective clients, split across shards *)
+  promiscuous : int;        (* promiscuous clients, split likewise *)
+  shards : int;             (* fixed shard count; NOT the pool size *)
+  visits_per_client : int;  (* exit website visits driven per client *)
+}
+
+let default = { relays = 200; clients = 2_000; promiscuous = 4; shards = 8; visits_per_client = 2 }
+
+type result = {
+  tallies : (string * int) list;  (* merged ingestion counters, name-sorted *)
+  events : int;                   (* events ingested through the counter sink *)
+  per_shard_events : int array;
+  truth : Torsim.Ground_truth.t;  (* merged exact truth, for cross-checking *)
+}
+
+(* The ingestion counter family: every event kind the day produces,
+   including the hostname classifications (registered-domain and TLD)
+   that the paper's exit measurements hang off. *)
+let counter_names =
+  [
+    "connections"; "circuits:data"; "circuits:directory"; "directory_requests";
+    "entry_mib"; "exit_mib"; "streams"; "streams:initial"; "streams:web";
+    "sld:known"; "sld:unknown"; "tld:com"; "tld:onion"; "tld:other";
+  ]
+
+(* --- per-shard counter accumulator (the ingestion hot path) --- *)
+
+(* The counter family interned once at module load: ids ascend in name
+   order, so per-shard accumulators are flat int arrays and the merged
+   tallies come out name-sorted for free. *)
+let intern =
+  Privcount.Counter.Intern.of_specs
+    (List.map (fun name -> Privcount.Counter.spec ~name ~sensitivity:1.0) counter_names)
+
+let c_connections = Privcount.Counter.Intern.id_exn intern "connections"
+let c_circuits_data = Privcount.Counter.Intern.id_exn intern "circuits:data"
+let c_circuits_dir = Privcount.Counter.Intern.id_exn intern "circuits:directory"
+let c_dir_requests = Privcount.Counter.Intern.id_exn intern "directory_requests"
+let c_entry_mib = Privcount.Counter.Intern.id_exn intern "entry_mib"
+let c_exit_mib = Privcount.Counter.Intern.id_exn intern "exit_mib"
+let c_streams = Privcount.Counter.Intern.id_exn intern "streams"
+let c_streams_initial = Privcount.Counter.Intern.id_exn intern "streams:initial"
+let c_streams_web = Privcount.Counter.Intern.id_exn intern "streams:web"
+let c_sld_known = Privcount.Counter.Intern.id_exn intern "sld:known"
+let c_sld_unknown = Privcount.Counter.Intern.id_exn intern "sld:unknown"
+let c_tld_com = Privcount.Counter.Intern.id_exn intern "tld:com"
+let c_tld_onion = Privcount.Counter.Intern.id_exn intern "tld:onion"
+let c_tld_other = Privcount.Counter.Intern.id_exn intern "tld:other"
+
+type acc = {
+  counts : int array;  (* indexed by interned counter id *)
+  mutable seen : int;
+}
+
+let make_acc () = { counts = Array.make (Privcount.Counter.Intern.size intern) 0; seen = 0 }
+
+let mib bytes = int_of_float (bytes /. 1_048_576.0)
+
+(* Push-style event sink over pre-resolved ids — the same shape as the
+   PrivCount experiment sinks. Steady state allocates nothing. *)
+let sink acc event =
+  acc.seen <- acc.seen + 1;
+  let bump id by = acc.counts.(id) <- acc.counts.(id) + by in
+  match event with
+  | Torsim.Event.Client_connection _ -> bump c_connections 1
+  | Torsim.Event.Client_circuit { kind = Torsim.Event.Data_circuit; _ } ->
+    bump c_circuits_data 1
+  | Torsim.Event.Client_circuit { kind = Torsim.Event.Directory_circuit; _ } ->
+    bump c_circuits_dir 1
+  | Torsim.Event.Directory_request _ -> bump c_dir_requests 1
+  | Torsim.Event.Entry_bytes { bytes; _ } -> bump c_entry_mib (mib bytes)
+  | Torsim.Event.Exit_bytes { bytes } -> bump c_exit_mib (mib bytes)
+  | Torsim.Event.Exit_stream { kind = Torsim.Event.Subsequent; _ } -> bump c_streams 1
+  | Torsim.Event.Exit_stream { kind = Torsim.Event.Initial; dest; port } -> (
+    bump c_streams 1;
+    bump c_streams_initial 1;
+    match dest with
+    | Torsim.Event.Hostname h ->
+      if Torsim.Event.is_web_port port then bump c_streams_web 1;
+      bump
+        (match Workload.Suffix.registered_domain h with
+        | Some _ -> c_sld_known
+        | None -> c_sld_unknown)
+        1;
+      bump
+        (match Workload.Suffix.top_level_domain h with
+        | Some "com" -> c_tld_com
+        | Some "onion" -> c_tld_onion
+        | Some _ | None -> c_tld_other)
+        1
+    | Torsim.Event.Ipv4_literal | Torsim.Event.Ipv6_literal -> ())
+  | Torsim.Event.Descriptor_published _ | Torsim.Event.Descriptor_fetch _
+  | Torsim.Event.Rendezvous_circuit _ -> ()
+
+(* --- sharding --- *)
+
+(* Shard s gets a contiguous slice of the population; sizes and IP
+   offsets depend only on the config, never on scheduling. *)
+let slice total shards s =
+  let base = total / shards and extra = total mod shards in
+  let size = base + (if s < extra then 1 else 0) in
+  let offset = (s * base) + min s extra in
+  (size, offset)
+
+let run ?(config = default) ~seed () =
+  if config.shards < 1 then invalid_arg "Netday.run: need at least one shard";
+  if config.clients < 0 || config.promiscuous < 0 then
+    invalid_arg "Netday.run: negative population";
+  if config.visits_per_client < 0 then invalid_arg "Netday.run: negative visits";
+  let net_rng = Prng.Rng.create ((seed * 13) + 1) in
+  let consensus =
+    Torsim.Netgen.generate
+      ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays = config.relays }
+      net_rng
+  in
+  (* Two independent 64-bit streams per shard — one for the shard's
+     engine, one for its workload — fixed by (seed, shard) alone. *)
+  let shard_words = Prng.Splitmix64.expand (Int64.of_int ((seed * 31) + 17)) (2 * config.shards) in
+  let shard_seed i = Int64.to_int shard_words.(i) land max_int in
+  let total_clients = config.clients + config.promiscuous in
+  let run_shard s =
+    let selective, sel_off = slice config.clients config.shards s in
+    let promiscuous, prom_off = slice config.promiscuous config.shards s in
+    let engine = Torsim.Engine.create ~seed:(shard_seed (2 * s)) consensus in
+    let acc = make_acc () in
+    for relay = 0 to Torsim.Consensus.size consensus - 1 do
+      Torsim.Engine.add_sink engine relay (sink acc)
+    done;
+    let rng = Prng.Rng.create (shard_seed ((2 * s) + 1)) in
+    let population =
+      Workload.Population.build
+        ~config:
+          {
+            Workload.Population.selective;
+            promiscuous;
+            guards_per_client = Workload.Population.default.Workload.Population.guards_per_client;
+            (* globally unique IPs: shard s starts after every earlier
+               shard's slice of both classes *)
+            ip_offset = sel_off + prom_off;
+          }
+        consensus rng
+    in
+    Workload.Behavior.run_population_day engine population rng;
+    let visits = Workload.Population.size population * config.visits_per_client in
+    if visits > 0 && Workload.Population.size population > 0 then
+      Workload.Exit_traffic.run engine population rng ~visits;
+    (acc, Torsim.Engine.truth engine)
+  in
+  (* The engines call into Obs when telemetry is enabled, and Obs is a
+     single-domain subsystem (PR 3's rule: never called in workers) —
+     so an instrumented run executes the shards sequentially. Results
+     are identical either way; only the wall time changes. *)
+  let shard_results =
+    if Obs.enabled () || total_clients = 0 then Array.init config.shards run_shard
+    else Parallel.parallel_init ~min_chunk:1 config.shards run_shard
+  in
+  (* Merge in shard index order. *)
+  let truth = Torsim.Ground_truth.create () in
+  Array.iter (fun (_, t) -> Torsim.Ground_truth.merge_into ~dst:truth t) shard_results;
+  let totals = Array.make (Privcount.Counter.Intern.size intern) 0 in
+  Array.iter
+    (fun (acc, _) -> Array.iteri (fun c v -> totals.(c) <- totals.(c) + v) acc.counts)
+    shard_results;
+  (* ascending id IS counter name order *)
+  let tallies =
+    Array.to_list (Array.mapi (fun c v -> (Privcount.Counter.Intern.name intern c, v)) totals)
+  in
+  let per_shard_events = Array.map (fun (acc, _) -> acc.seen) shard_results in
+  let events = Array.fold_left ( + ) 0 per_shard_events in
+  { tallies; events; per_shard_events; truth }

@@ -1,0 +1,33 @@
+(** Sharded whole-network-day driver: the full client population runs
+    one day of behaviour plus exit visits, and every relay observation
+    flows through the event->counter ingestion path. The population is
+    partitioned into a fixed number of shards run on the lib/parallel
+    pool and merged in shard order, so the result is bit-identical at
+    any pool size (DESIGN.md §3c). This is the whole-network throughput
+    benchmark: events/sec through ingestion, not a crypto kernel. *)
+
+type config = {
+  relays : int;
+  clients : int;            (** selective clients, split across shards *)
+  promiscuous : int;
+  shards : int;             (** fixed shard count — not the pool size *)
+  visits_per_client : int;  (** exit website visits per client *)
+}
+
+val default : config
+(** 2000 clients, 8 shards, 200 relays, 2 visits/client. *)
+
+type result = {
+  tallies : (string * int) list;  (** merged ingestion counters, name-sorted *)
+  events : int;                   (** events ingested through the counter sink *)
+  per_shard_events : int array;
+  truth : Torsim.Ground_truth.t;  (** merged exact truth, for cross-checking *)
+}
+
+val counter_names : string list
+(** The ingestion counter family, including hostname classifications. *)
+
+val run : ?config:config -> seed:int -> unit -> result
+(** Run one network day. Deterministic in [seed] and [config]; the
+    shard structure and per-shard PRNG streams depend only on
+    [(seed, shard index)], never on scheduling. *)

@@ -48,18 +48,25 @@ let copy ctx =
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 let compress ctx block off =
+  (* One bounds check for the whole 64-byte block, then unsafe byte and
+     word accesses: every index below is static relative to [off] or a
+     loop bound over the 64-element scratch arrays. *)
+  if off < 0 || off + 64 > Bytes.length block then invalid_arg "Sha256.compress: block out of range";
   let w = ctx.w in
   for t = 0 to 15 do
-    w.(t) <-
-      (Char.code (Bytes.get block (off + (4 * t))) lsl 24)
-      lor (Char.code (Bytes.get block (off + (4 * t) + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (off + (4 * t) + 2)) lsl 8)
-      lor Char.code (Bytes.get block (off + (4 * t) + 3))
+    let base = off + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block base) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (base + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (base + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (base + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
@@ -67,7 +74,7 @@ let compress ctx block off =
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
+    let t1 = (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask in

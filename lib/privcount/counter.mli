@@ -14,3 +14,23 @@ val histogram_specs : name:string -> sensitivity:float -> string list -> spec li
     histograms (paper §3.1). *)
 
 val bin_name : name:string -> bin:string -> string
+
+(** A round's counter set resolved once to dense integer ids. Ids
+    ascend in counter {e name} order, so iterating ids 0..n-1 visits
+    counters sorted by name — reports and noise draws built over ids
+    are automatically registration-order independent. *)
+module Intern : sig
+  type t
+
+  val of_specs : spec list -> t
+  (** Sorts by name; rejects empty sets and duplicate names. *)
+
+  val size : t -> int
+  val name : t -> int -> string
+  val spec : t -> int -> spec
+
+  val find : t -> string -> int option
+  (** [None] for counters outside the round's configuration. *)
+
+  val id_exn : t -> string -> int
+end

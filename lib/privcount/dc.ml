@@ -2,52 +2,60 @@
    blinded in Z_M from the moment of initialization — a compromised DC
    reveals only uniformly random residues. The DC also adds its share of
    the round's Gaussian noise at initialization, so raw event counts
-   never exist in memory. *)
+   never exist in memory.
+
+   Residues are a flat int array indexed by interned counter id: the
+   per-event hot path is one bounds-checked array read/write, with no
+   hashing and no allocation. *)
 
 type t = {
   id : int;
-  counters : (string, int ref) Hashtbl.t;   (* blinded residues mod M *)
+  intern : Counter.Intern.t;
+  residues : int array;   (* blinded residues mod M, indexed by counter id *)
   mutable finalized : bool;
 }
 
 let modulus = Crypto.Secret_sharing.modulus
 
-(* [blinding_shares.(k)] are this DC's shares towards share keeper k,
-   one per counter; the matching SK derives the identical values from
-   the pairwise DRBG seed (standing in for PrivCount's encrypted share
-   exchange). *)
-let create ~id ~specs ~noise_sigma_per_dc ~blinding ~noise_rng =
-  (* Draw noise and blinding shares in counter name order: the round is
-     then bit-identical however the caller ordered its counter specs
-     (registration-order independence, locked in by the tests). *)
-  let specs =
-    List.sort (fun a b -> String.compare a.Counter.name b.Counter.name) specs
-  in
-  let counters = Hashtbl.create (List.length specs) in
-  List.iter
-    (fun spec ->
-      let noise =
-        int_of_float
-          (Float.round
-             (Dp.Mechanism.gaussian_noise noise_rng ~sigma:(noise_sigma_per_dc spec)))
-      in
-      let shares = blinding ~counter:spec.Counter.name in
-      let v = Crypto.Secret_sharing.blind noise shares in
-      Hashtbl.replace counters spec.Counter.name (ref v))
-    specs;
-  { id; counters; finalized = false }
+(* [blinding ~counter:c] returns this DC's shares towards each share
+   keeper for interned counter [c]; the matching SK derives the
+   identical values from the pairwise DRBG seed (standing in for
+   PrivCount's encrypted share exchange). *)
+let create ~id ~intern ~noise_sigma_per_dc ~blinding ~noise_rng =
+  (* Ids ascend in counter name order (Counter.Intern), so drawing
+     noise and blinding shares by ascending id is exactly the sorted
+     name order the round always used: bit-identical however the caller
+     ordered its counter specs (registration-order independence, locked
+     in by the tests). *)
+  let n = Counter.Intern.size intern in
+  let residues = Array.make n 0 in
+  for c = 0 to n - 1 do
+    let spec = Counter.Intern.spec intern c in
+    let noise =
+      int_of_float
+        (Float.round (Dp.Mechanism.gaussian_noise noise_rng ~sigma:(noise_sigma_per_dc spec)))
+    in
+    let shares = blinding ~counter:c in
+    residues.(c) <- Crypto.Secret_sharing.blind noise shares
+  done;
+  { id; intern; residues; finalized = false }
+
+let increment_id t ~id ~by =
+  if t.finalized then invalid_arg "Dc.increment: round already finalized";
+  let r = t.residues.(id) in
+  t.residues.(id) <- (((r + by) mod modulus) + modulus) mod modulus
 
 let increment t ~name ~by =
   if t.finalized then invalid_arg "Dc.increment: round already finalized";
-  match Hashtbl.find_opt t.counters name with
+  match Counter.Intern.find t.intern name with
   | None -> () (* events for counters not in this round's config are dropped *)
-  | Some r -> r := (((!r + by) mod modulus) + modulus) mod modulus
+  | Some id -> increment_id t ~id ~by
 
-(* End of round: the DC reports its blinded residues, in counter name
-   order so a report is bit-identical regardless of table layout. *)
+(* End of round: the DC reports its blinded residues. Ascending id IS
+   counter name order, so a report is bit-identical regardless of how
+   the round's specs were registered. *)
 let report t =
   t.finalized <- true;
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Array.to_list (Array.mapi (fun c r -> (Counter.Intern.name t.intern c, r)) t.residues)
 
 let id t = t.id

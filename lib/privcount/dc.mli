@@ -1,20 +1,29 @@
 (** A PrivCount data collector (one per measured relay). Counters are
     blinded in Z_M from initialization and carry the DC's share of the
     round's Gaussian noise, so raw event counts never exist in memory —
-    a compromised DC reveals only uniform residues. *)
+    a compromised DC reveals only uniform residues. Residues live in a
+    flat array indexed by interned counter id; the per-event path does
+    no hashing and no allocation. *)
 
 type t
 
 val create :
-  id:int -> specs:Counter.spec list -> noise_sigma_per_dc:(Counter.spec -> float) ->
-  blinding:(counter:string -> int list) -> noise_rng:Prng.Rng.t -> t
+  id:int -> intern:Counter.Intern.t -> noise_sigma_per_dc:(Counter.spec -> float) ->
+  blinding:(counter:int -> int list) -> noise_rng:Prng.Rng.t -> t
 (** [blinding ~counter] returns this DC's per-share-keeper blinding
-    values for one counter (the SKs derive the same values). *)
+    values for one interned counter id (the SKs derive the same
+    values). Noise and shares are drawn by ascending id, i.e. sorted
+    counter-name order. *)
+
+val increment_id : t -> id:int -> by:int -> unit
+(** Hot path: [id] must come from the round's intern table
+    (e.g. {!Deployment.counter_id}). *)
 
 val increment : t -> name:string -> by:int -> unit
 (** Events for counters outside the round's configuration are dropped. *)
 
 val report : t -> (string * int) list
-(** End of round: blinded residues; the DC is finalized. *)
+(** End of round: blinded residues in counter name order; the DC is
+    finalized. *)
 
 val id : t -> int

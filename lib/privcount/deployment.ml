@@ -12,6 +12,7 @@ let config ?(num_sks = 3) ?(split_budget = true) ?(params = Dp.Mechanism.paper_p
 
 type t = {
   cfg : config;
+  intern : Counter.Intern.t;
   dcs : Dc.t array;
   sks : Sk.t array;
   mutable tallied : bool;
@@ -36,7 +37,11 @@ let create ?noise_weights cfg ~num_dcs ~seed =
   @@ fun () ->
   Obs.Metrics.inc "privcount_rounds_total";
   Obs.Metrics.inc_float "dp_epsilon_allocated_total{system=\"privcount\"}" cfg.params.Dp.Mechanism.epsilon;
-  let sks = Array.init cfg.num_sks (fun id -> Sk.create ~id) in
+  (* Counter names resolve to dense ids exactly once, here. Ids ascend
+     in sorted name order, so id order IS the draw order the round
+     always used. *)
+  let intern = Counter.Intern.of_specs cfg.specs in
+  let sks = Array.init cfg.num_sks (fun id -> Sk.create ~id ~intern ~num_dcs) in
   (* Pairwise blinding: DC d and SK k derive identical per-counter
      shares from a shared seed (standing in for PrivCount's encrypted
      share exchange over TLS). *)
@@ -67,46 +72,56 @@ let create ?noise_weights cfg ~num_dcs ~seed =
      name order (see Dc.create) — so each worker task can create its own
      stream and draw it to exhaustion without any cross-task draw-order
      dependence. The tensor is bit-identical at any pool size. *)
-  let sorted_names =
-    Array.of_list (List.sort String.compare (List.map (fun s -> s.Counter.name) cfg.specs))
-  in
-  let num_counters = Array.length sorted_names in
+  let num_counters = Counter.Intern.size intern in
   let shares_tensor =
     Parallel.parallel_init ~min_chunk:1 (num_dcs * cfg.num_sks) (fun idx ->
         let drbg = share_drbg ~dc:(idx / cfg.num_sks) ~sk:(idx mod cfg.num_sks) in
         Array.init num_counters (fun _ ->
             Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus))
   in
-  let counter_index = Hashtbl.create num_counters in
-  Array.iteri (fun i name -> Hashtbl.replace counter_index name i) sorted_names;
   (* Absorption into the SKs (and telemetry) stays sequential, on the
      orchestrating domain, in the order the inline draws always ran:
-     dc-major, then counter name, then sk. *)
+     dc-major, then counter name (= ascending id), then sk. *)
   let dcs =
     Array.init num_dcs (fun id ->
-        let blinding ~counter =
-          let c =
-            match Hashtbl.find_opt counter_index counter with
-            | Some c -> c
-            | None -> invalid_arg "Deployment.create: blinding for unknown counter"
-          in
+        let blinding ~counter:c =
           List.init cfg.num_sks (fun sk ->
               let share = shares_tensor.((id * cfg.num_sks) + sk).(c) in
               Obs.Metrics.inc "privcount_blinding_shares_total";
-              Sk.absorb sks.(sk) ~dc:id ~counter share;
+              Sk.absorb sks.(sk) ~dc:id ~counter:c share;
               share)
         in
-        Dc.create ~id ~specs:cfg.specs ~noise_sigma_per_dc:(sigma_per_dc_at id) ~blinding
-          ~noise_rng)
+        Dc.create ~id ~intern ~noise_sigma_per_dc:(sigma_per_dc_at id) ~blinding ~noise_rng)
   in
-  { cfg; dcs; sks; tallied = false }
+  { cfg; intern; dcs; sks; tallied = false }
 
 let num_dcs t = Array.length t.dcs
+let num_counters t = Counter.Intern.size t.intern
+
+let counter_id t name =
+  match Counter.Intern.find t.intern name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Deployment.counter_id: unknown counter %S" name)
 
 let increment t ~dc ~name ~by =
   if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.increment: bad dc";
   Obs.Metrics.inc "privcount_increments_total";
   Dc.increment t.dcs.(dc) ~name ~by
+
+type emit = int -> int -> unit
+
+(* Push-style event sink: [fill emit ev] calls [emit id by] for each
+   increment, with ids resolved once via [counter_id] at wiring time.
+   Steady-state dispatch allocates nothing — no increment lists, no
+   name hashing. *)
+let sink_for t ~dc fill =
+  if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.sink_for: bad dc";
+  let dcell = t.dcs.(dc) in
+  let emit id by =
+    Obs.Metrics.inc "privcount_increments_total";
+    Dc.increment_id dcell ~id ~by
+  in
+  fun ev -> fill emit ev
 
 let handler t ~dc mapping =
   fun ev -> List.iter (fun (name, by) -> increment t ~dc ~name ~by) (mapping ev)

@@ -24,10 +24,25 @@ val create : ?noise_weights:float array -> config -> num_dcs:int -> seed:int -> 
     split by default. *)
 
 val num_dcs : t -> int
+val num_counters : t -> int
+
+val counter_id : t -> string -> int
+(** Resolve a counter name to its interned id, once, at wiring time.
+    Raises [Invalid_argument] for names outside the round's config. *)
+
+type emit = int -> int -> unit
+(** [emit id by] adds [by] to the counter with interned id [id]. *)
+
+val sink_for : t -> dc:int -> (emit -> 'ev -> unit) -> 'ev -> unit
+(** Push-style event sink for DC [dc]: [fill emit ev] calls [emit] for
+    each increment. With ids pre-resolved via {!counter_id}, the
+    per-event path allocates nothing. Preferred over {!handler} on hot
+    paths. *)
 
 val handler : t -> dc:int -> ('ev -> (string * int) list) -> 'ev -> unit
 (** Build the event sink for DC [dc]: maps an observation event to
-    counter increments. *)
+    counter increments by name (convenience path; allocates one list
+    per event). *)
 
 val increment : t -> dc:int -> name:string -> by:int -> unit
 

@@ -6,10 +6,13 @@
 
 type t
 
-val create : id:int -> t
-val absorb : t -> dc:int -> counter:string -> int -> unit
+val create : id:int -> intern:Counter.Intern.t -> num_dcs:int -> t
+
+val absorb : t -> dc:int -> counter:int -> int -> unit
+(** [counter] is an interned counter id. One array write, no hashing. *)
 
 val report : ?exclude_dcs:int list -> t -> (string * int) list
-(** Per-counter share sums over the DCs that completed the round. *)
+(** Per-counter share sums over the DCs that completed the round, in
+    counter name order. *)
 
 val id : t -> int

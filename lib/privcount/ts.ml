@@ -11,26 +11,32 @@ type result = {
 
 let modulus = Crypto.Secret_sharing.modulus
 
+(* Sum a batch of reports into one name-indexed table. Each report is
+   scanned once, so tallying is linear in the total report size rather
+   than quadratic (previously every spec re-scanned every report with
+   List.assoc_opt). Addition mod M commutes, so the per-name sums are
+   identical to the old per-spec folds. *)
+let sum_reports reports =
+  let sums = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt sums name with
+         | Some r -> r := (!r + v) mod modulus
+         | None -> Hashtbl.replace sums name (ref (v mod modulus))))
+    reports;
+  sums
+
 let tally ~specs ~sigma_of ~dc_reports ~sk_reports =
+  let dc_sums = sum_reports dc_reports in
+  let sk_sums = sum_reports sk_reports in
+  let sum_for sums name =
+    match Hashtbl.find_opt sums name with Some r -> !r | None -> 0
+  in
   List.map
     (fun spec ->
       let name = spec.Counter.name in
-      let dc_sum =
-        List.fold_left
-          (fun acc report ->
-            match List.assoc_opt name report with
-            | Some v -> (acc + v) mod modulus
-            | None -> acc)
-          0 dc_reports
-      in
-      let sk_sum =
-        List.fold_left
-          (fun acc report ->
-            match List.assoc_opt name report with
-            | Some v -> (acc + v) mod modulus
-            | None -> acc)
-          0 sk_reports
-      in
+      let dc_sum = sum_for dc_sums name in
+      let sk_sum = sum_for sk_sums name in
       let raw = ((dc_sum - sk_sum) mod modulus + modulus) mod modulus in
       let value = float_of_int (Crypto.Secret_sharing.to_signed raw) in
       let sigma = sigma_of spec in

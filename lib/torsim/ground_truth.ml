@@ -83,6 +83,55 @@ let bump_float tbl key v =
 
 let mark tbl key = if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key ()
 
+(* Fold [src] into [dst], for the sharded network-day driver: each shard
+   simulates a disjoint client slice with its own truth, and the driver
+   merges the shard truths in shard order. Per-key updates commute (set
+   union; integer sums; one float addition per key per source), so the
+   merged truth is independent of table iteration order. *)
+let merge_into ~dst src =
+  dst.connections <- dst.connections + src.connections;
+  dst.data_circuits <- dst.data_circuits + src.data_circuits;
+  dst.directory_circuits <- dst.directory_circuits + src.directory_circuits;
+  dst.entry_bytes <- dst.entry_bytes +. src.entry_bytes;
+  dst.streams_total <- dst.streams_total + src.streams_total;
+  dst.streams_initial <- dst.streams_initial + src.streams_initial;
+  dst.initial_hostname <- dst.initial_hostname + src.initial_hostname;
+  dst.initial_ipv4 <- dst.initial_ipv4 + src.initial_ipv4;
+  dst.initial_ipv6 <- dst.initial_ipv6 + src.initial_ipv6;
+  dst.hostname_web <- dst.hostname_web + src.hostname_web;
+  dst.hostname_other_port <- dst.hostname_other_port + src.hostname_other_port;
+  dst.exit_bytes <- dst.exit_bytes +. src.exit_bytes;
+  dst.descriptor_publishes <- dst.descriptor_publishes + src.descriptor_publishes;
+  dst.descriptor_publish_rejected <-
+    dst.descriptor_publish_rejected + src.descriptor_publish_rejected;
+  dst.descriptor_fetches <- dst.descriptor_fetches + src.descriptor_fetches;
+  dst.descriptor_fetch_ok <- dst.descriptor_fetch_ok + src.descriptor_fetch_ok;
+  dst.descriptor_fetch_failed <- dst.descriptor_fetch_failed + src.descriptor_fetch_failed;
+  dst.rend_circuits <- dst.rend_circuits + src.rend_circuits;
+  dst.rend_success <- dst.rend_success + src.rend_success;
+  dst.rend_closed <- dst.rend_closed + src.rend_closed;
+  dst.rend_expired <- dst.rend_expired + src.rend_expired;
+  dst.rend_cells <- dst.rend_cells + src.rend_cells;
+  Hashtbl.iter (fun k () -> mark dst.unique_client_ips k) src.unique_client_ips;
+  Hashtbl.iter (fun k () -> mark dst.unique_countries k) src.unique_countries;
+  Hashtbl.iter (fun k () -> mark dst.unique_asns k) src.unique_asns;
+  Hashtbl.iter (fun k () -> mark dst.unique_domains k) src.unique_domains;
+  Hashtbl.iter (fun k () -> mark dst.unique_published_onions k) src.unique_published_onions;
+  Hashtbl.iter (fun k () -> mark dst.unique_fetched_onions k) src.unique_fetched_onions;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.per_country_connections k with
+      | Some acc -> acc := !acc + !r
+      | None -> Hashtbl.replace dst.per_country_connections k (ref !r))
+    src.per_country_connections;
+  Hashtbl.iter (fun k r -> bump_float dst.per_country_bytes k !r) src.per_country_bytes;
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.per_country_circuits k with
+      | Some acc -> acc := !acc + !r
+      | None -> Hashtbl.replace dst.per_country_circuits k (ref !r))
+    src.per_country_circuits
+
 let unique_clients t = Hashtbl.length t.unique_client_ips
 let unique_countries t = Hashtbl.length t.unique_countries
 let unique_asns t = Hashtbl.length t.unique_asns

@@ -39,6 +39,11 @@ type t = {
 
 val create : unit -> t
 
+val merge_into : dst:t -> t -> unit
+(** Fold a shard's truth into [dst] (set union for uniques, sums for
+    tallies). Used by the sharded network-day driver, which merges
+    shard truths in shard order. *)
+
 val bump_int : ('a, int ref) Hashtbl.t -> 'a -> unit
 val bump_float : ('a, float ref) Hashtbl.t -> 'a -> float -> unit
 val mark : ('a, unit) Hashtbl.t -> 'a -> unit

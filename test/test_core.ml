@@ -224,6 +224,74 @@ let test_metrics_portal_baseline () =
     true
     (est > 600.0 && est < 2_500.0)
 
+(* --- sharded network day --- *)
+
+let netday_config =
+  { Netday.default with Netday.clients = 180; promiscuous = 3; relays = 80; shards = 5 }
+
+let with_jobs n f =
+  let before = Parallel.jobs () in
+  Parallel.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.set_jobs before) f
+
+(* The determinism contract (DESIGN.md §3c) for the sharded driver:
+   identical tallies, event counts, and merged truth at any pool
+   size. *)
+let test_netday_jobs_invariance () =
+  let run jobs = with_jobs jobs (fun () -> Netday.run ~config:netday_config ~seed:11 ()) in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check (list (pair string int))) "tallies" r1.Netday.tallies r4.Netday.tallies;
+  Alcotest.(check int) "events" r1.Netday.events r4.Netday.events;
+  Alcotest.(check (array int)) "per-shard events" r1.Netday.per_shard_events r4.Netday.per_shard_events;
+  let t1 = r1.Netday.truth and t4 = r4.Netday.truth in
+  Alcotest.(check int) "truth connections" t1.Torsim.Ground_truth.connections t4.Torsim.Ground_truth.connections;
+  Alcotest.(check int) "truth streams" t1.Torsim.Ground_truth.streams_total t4.Torsim.Ground_truth.streams_total;
+  Alcotest.(check int) "truth unique ips"
+    (Torsim.Ground_truth.unique_clients t1) (Torsim.Ground_truth.unique_clients t4);
+  Alcotest.(check int) "truth unique domains"
+    (Torsim.Ground_truth.unique_domains t1) (Torsim.Ground_truth.unique_domains t4);
+  Alcotest.(check (float 0.0)) "truth entry bytes"
+    t1.Torsim.Ground_truth.entry_bytes t4.Torsim.Ground_truth.entry_bytes
+
+let prop_netday_jobs_invariance =
+  QCheck.Test.make ~name:"netday tallies identical at any pool size" ~count:6
+    QCheck.(pair (int_range 1 5) small_nat)
+    (fun (jobs, seed) ->
+      let config = { netday_config with Netday.clients = 60; shards = 3; relays = 60 } in
+      let base = with_jobs 1 (fun () -> Netday.run ~config ~seed ()) in
+      let other = with_jobs jobs (fun () -> Netday.run ~config ~seed ()) in
+      base.Netday.tallies = other.Netday.tallies
+      && base.Netday.events = other.Netday.events
+      && base.Netday.per_shard_events = other.Netday.per_shard_events
+      && base.Netday.truth.Torsim.Ground_truth.connections
+         = other.Netday.truth.Torsim.Ground_truth.connections)
+
+(* The ingestion counters must agree exactly with the merged ground
+   truth: every relay observes, so tallies are whole-network exact. *)
+let test_netday_tallies_match_truth () =
+  let r = Netday.run ~config:netday_config ~seed:7 () in
+  let tally name = List.assoc name r.Netday.tallies in
+  let truth = r.Netday.truth in
+  Alcotest.(check int) "connections" truth.Torsim.Ground_truth.connections (tally "connections");
+  Alcotest.(check int) "data circuits" truth.Torsim.Ground_truth.data_circuits (tally "circuits:data");
+  Alcotest.(check int) "dir circuits" truth.Torsim.Ground_truth.directory_circuits
+    (tally "circuits:directory");
+  Alcotest.(check int) "streams" truth.Torsim.Ground_truth.streams_total (tally "streams");
+  Alcotest.(check int) "initial streams" truth.Torsim.Ground_truth.streams_initial
+    (tally "streams:initial");
+  Alcotest.(check bool) "events flowed" true (r.Netday.events > 1_000);
+  Alcotest.(check int) "shard count" (Array.length r.Netday.per_shard_events) netday_config.Netday.shards;
+  (* sld classification covers every initial hostname stream *)
+  Alcotest.(check int) "sld partition" truth.Torsim.Ground_truth.initial_hostname
+    (tally "sld:known" + tally "sld:unknown")
+
+let test_netday_validation () =
+  Alcotest.check_raises "no shards" (Invalid_argument "Netday.run: need at least one shard")
+    (fun () -> ignore (Netday.run ~config:{ netday_config with Netday.shards = 0 } ~seed:1 ()));
+  Alcotest.check_raises "negative population"
+    (Invalid_argument "Netday.run: negative population") (fun () ->
+      ignore (Netday.run ~config:{ netday_config with Netday.clients = -1 } ~seed:1 ()))
+
 let () =
   Alcotest.run "core"
     [
@@ -257,6 +325,13 @@ let () =
           Alcotest.test_case "collision correction" `Quick test_ablation_collision_correction;
           Alcotest.test_case "initial vs all streams" `Slow test_ablation_initial_vs_all;
           Alcotest.test_case "guard model single vs dual" `Quick test_ablation_guard_model;
+        ] );
+      ( "netday",
+        [
+          Alcotest.test_case "jobs invariance" `Quick test_netday_jobs_invariance;
+          Alcotest.test_case "tallies match truth" `Quick test_netday_tallies_match_truth;
+          Alcotest.test_case "validation" `Quick test_netday_validation;
+          QCheck_alcotest.to_alcotest prop_netday_jobs_invariance;
         ] );
       ( "baseline",
         [

@@ -127,6 +127,54 @@ let test_handler_mapping () =
   Alcotest.(check bool) "evens ~3" true (Float.abs (evens -. 3.0) < 6.0 *. s);
   Alcotest.(check bool) "odds ~4" true (Float.abs (odds -. 4.0) < 6.0 *. s)
 
+let test_sink_for_matches_handler () =
+  (* the push-style interned sink and the name-based handler must
+     produce byte-identical rounds for the same event stream *)
+  let events = [ 1; 2; 3; 4; 5; 6; 7; 10; 12 ] in
+  let via_handler =
+    let d = make [ "evens"; "odds" ] in
+    let handler =
+      Deployment.handler d ~dc:0 (fun n ->
+          if n mod 2 = 0 then [ ("evens", 1) ] else [ ("odds", 1) ])
+    in
+    List.iter handler events;
+    Deployment.tally d
+  in
+  let via_sink =
+    let d = make [ "evens"; "odds" ] in
+    let evens = Deployment.counter_id d "evens" and odds = Deployment.counter_id d "odds" in
+    let sink =
+      Deployment.sink_for d ~dc:0 (fun emit n -> emit (if n mod 2 = 0 then evens else odds) 1)
+    in
+    List.iter sink events;
+    Deployment.tally d
+  in
+  List.iter2
+    (fun (a : Ts.result) (b : Ts.result) ->
+      Alcotest.(check string) "name" a.Ts.name b.Ts.name;
+      Alcotest.(check (float 0.0)) a.Ts.name a.Ts.value b.Ts.value)
+    via_handler via_sink
+
+let test_counter_id_validation () =
+  let d = make [ "b"; "a"; "c" ] in
+  (* interned ids ascend in sorted-name order, whatever the
+     registration order *)
+  Alcotest.(check int) "a" 0 (Deployment.counter_id d "a");
+  Alcotest.(check int) "b" 1 (Deployment.counter_id d "b");
+  Alcotest.(check int) "c" 2 (Deployment.counter_id d "c");
+  Alcotest.(check int) "num_counters" 3 (Deployment.num_counters d);
+  Alcotest.check_raises "unknown name"
+    (Invalid_argument "Deployment.counter_id: unknown counter \"zzz\"") (fun () ->
+      ignore (Deployment.counter_id d "zzz"));
+  Alcotest.check_raises "bad dc" (Invalid_argument "Deployment.sink_for: bad dc") (fun () ->
+      let (_ : int -> unit) = Deployment.sink_for d ~dc:99 (fun _ (_ : int) -> ()) in
+      ())
+
+let test_duplicate_counter_rejected () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Counter.Intern.of_specs: duplicate counter \"c\"") (fun () ->
+      ignore (make [ "c"; "c" ]))
+
 let test_blinded_residue_is_not_plaintext () =
   (* a single DC's reported residue should look nothing like its true
      count: the tally only works once every SK releases its sums *)
@@ -299,6 +347,9 @@ let () =
           Alcotest.test_case "tally once" `Quick test_tally_once;
           Alcotest.test_case "finalized dc" `Quick test_increment_after_tally_rejected;
           Alcotest.test_case "handler" `Quick test_handler_mapping;
+          Alcotest.test_case "sink_for matches handler" `Quick test_sink_for_matches_handler;
+          Alcotest.test_case "counter ids" `Quick test_counter_id_validation;
+          Alcotest.test_case "duplicate counters" `Quick test_duplicate_counter_rejected;
           Alcotest.test_case "blinding" `Quick test_blinded_residue_is_not_plaintext;
           Alcotest.test_case "noise weights roundtrip" `Quick test_noise_weights_roundtrip;
           Alcotest.test_case "noise weights validation" `Quick test_noise_weights_validation;

@@ -389,6 +389,56 @@ let prop_suffix_registered_is_suffix =
         String.length reg <= String.length host
         && String.sub host (String.length host - String.length reg) (String.length reg) = reg)
 
+(* The index-scanning Suffix implementation must agree with the
+   list-based reference on arbitrary hostnames, including the nasty
+   shapes real splitting produces: empty labels, leading/trailing dots,
+   uppercase, bare suffixes, unknown TLDs. The generator is biased
+   toward known suffix labels so both branches of the classifier get
+   exercised. *)
+let hostname_gen =
+  let label =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.oneofl
+          [ "www"; "a"; "cdn7"; "Google"; "amazon"; ""; "x-y"; "S123"; "torproject" ];
+        QCheck.Gen.oneofl ("uk" :: "CO" :: "xyzzy" :: Suffix.one_label_suffixes);
+        QCheck.Gen.map (Printf.sprintf "s%d") (QCheck.Gen.int_bound 9_999);
+      ]
+  in
+  QCheck.Gen.(
+    oneof
+      [
+        (* joined labels, 0..5 of them *)
+        map (String.concat ".") (list_size (int_bound 5) label);
+        (* a known two-label suffix with 0..2 labels in front *)
+        map2
+          (fun ls suffix -> String.concat "." (ls @ [ suffix ]))
+          (list_size (int_bound 2) label)
+          (oneofl Suffix.two_label_suffixes);
+      ])
+
+let prop_suffix_fast_matches_reference =
+  QCheck.Test.make ~name:"fast suffix functions match the list-based reference" ~count:2_000
+    (QCheck.make ~print:(fun s -> Printf.sprintf "%S" s) hostname_gen)
+    (fun host ->
+      Suffix.public_suffix host = Suffix.public_suffix_ref host
+      && Suffix.registered_domain host = Suffix.registered_domain_ref host
+      && Suffix.top_level_domain host = Suffix.top_level_domain_ref host)
+
+(* Exceeding the memo bound must not change results: drive more unique
+   hostnames through than the table holds, then re-ask early ones. *)
+let test_suffix_memo_bound () =
+  for i = 0 to 20_000 do
+    let host = Printf.sprintf "h%d.example%d.com" i (i land 7) in
+    Alcotest.(check (option string))
+      host
+      (Suffix.registered_domain_ref host)
+      (Suffix.registered_domain host)
+  done;
+  Alcotest.(check (option string))
+    "early host again" (Some "example0.com")
+    (Suffix.registered_domain "h0.example0.com")
+
 let () =
   Alcotest.run "workload"
     [
@@ -396,6 +446,7 @@ let () =
         [
           Alcotest.test_case "registered domain" `Quick test_registered_domain;
           Alcotest.test_case "tld" `Quick test_tld;
+          Alcotest.test_case "memo bound" `Quick test_suffix_memo_bound;
         ] );
       ( "domains",
         [
@@ -435,5 +486,9 @@ let () =
           Alcotest.test_case "onion rates" `Quick test_onion_activity_rates;
           Alcotest.test_case "exit stream split" `Quick test_exit_traffic_stream_split;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_suffix_registered_is_suffix ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_suffix_registered_is_suffix;
+          QCheck_alcotest.to_alcotest prop_suffix_fast_matches_reference;
+        ] );
     ]
