@@ -1,4 +1,4 @@
-.PHONY: all build test lint check bench bench-quick bench-diff clean
+.PHONY: all build test lint check audit trace-diff bench bench-quick bench-diff clean
 
 all: build
 
@@ -13,6 +13,19 @@ lint:
 
 # what CI runs
 check: build test lint
+
+# audited run: write a run ledger for a PSC + PrivCount experiment and
+# replay it; exits 2 on any failed proof or budget overspend
+audit:
+	dune exec bin/tormeasure_cli.exe -- run fig2 --ledger ledger.jsonl
+	dune exec bin/tormeasure_cli.exe -- audit ledger.jsonl
+
+# compare phase timings of two run ledgers, e.g.
+#   make trace-diff BASE=LEDGER_baseline.jsonl NEW=ledger.jsonl
+trace-diff:
+	@test -n "$(BASE)" && test -n "$(NEW)" \
+		|| { echo "usage: make trace-diff BASE=<a>.jsonl NEW=<b>.jsonl"; exit 1; }
+	dune exec bin/trace_diff.exe -- $(BASE) $(NEW)
 
 bench:
 	dune exec bench/main.exe

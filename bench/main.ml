@@ -309,8 +309,10 @@ let all_kernels =
 
 (* One post-timing run with telemetry on: what did this kernel touch?
    The timed loop itself runs with telemetry off, so the ns/run numbers
-   never include instrumentation overhead. *)
-let kernel_snapshot fn =
+   never include instrumentation overhead. The same pass audits the
+   kernel's run ledger — a failed proof or budget overspend in a bench
+   configuration is a bug worth shouting about, not a timing detail. *)
+let kernel_snapshot name fn =
   Obs.set_enabled true;
   Obs.reset ();
   let snapshot =
@@ -320,6 +322,10 @@ let kernel_snapshot fn =
         Obs.reset ())
       (fun () ->
         fn ();
+        let a = Obs.Ledger.audit (Obs.Ledger.events ()) in
+        if not a.Obs.Ledger.ok then
+          Printf.printf "  %-40s LEDGER AUDIT FAILED: %s\n%!" name
+            (String.concat "; " a.Obs.Ledger.violations);
         Obs.Metrics.snapshot ())
   in
   snapshot
@@ -342,7 +348,7 @@ let run_perf () =
             Printf.printf "  %-40s %12.1f ns/run\n%!" printed_name ns
           | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" printed_name)
         results;
-      (name, !ns_per_run, kernel_snapshot fn))
+      (name, !ns_per_run, kernel_snapshot name fn))
     all_kernels
 
 let json_escape s =

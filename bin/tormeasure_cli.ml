@@ -53,13 +53,22 @@ let trace_arg =
   let doc = "Write the tracing spans as JSON lines to $(docv) (enables telemetry)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let obs_start ~metrics ~trace = if metrics <> None || trace <> None then Obs.set_enabled true
+let ledger_arg =
+  let doc =
+    "Write the run ledger (budget draws, proof outcomes, phase timings) as JSON lines to \
+     $(docv), for $(b,tormeasure audit) and $(b,trace-diff) (enables telemetry)."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let obs_start ~metrics ~trace ~ledger =
+  if metrics <> None || trace <> None || ledger <> None then Obs.set_enabled true
 
 (* Export what the run recorded and print the end-of-run summary. *)
-let obs_finish ~metrics ~trace =
+let obs_finish ~metrics ~trace ~ledger =
   if Obs.enabled () then begin
     let samples = Obs.Metrics.snapshot () in
     let spans = Obs.Trace.spans () in
+    let events = Obs.Ledger.events () in
     (match metrics with
     | None -> ()
     | Some path ->
@@ -73,8 +82,14 @@ let obs_finish ~metrics ~trace =
         (match Obs.Trace.dropped () with
         | 0 -> ""
         | d -> Printf.sprintf " (%d dropped at capacity)" d));
+    (match ledger with
+    | None -> ()
+    | Some path ->
+      Obs.Export.write_file path (Obs.Ledger.to_jsonl events);
+      Printf.printf "wrote %d ledger events to %s\n" (List.length events) path);
     print_newline ();
-    print_string (Obs.Export.summary samples spans)
+    print_string (Obs.Export.summary samples spans);
+    if events <> [] then print_string (Obs.Ledger.summary events)
   end
 
 let write_csv path reports =
@@ -91,22 +106,23 @@ let run_cmd =
     let doc = "Experiment id (see $(b,list))." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id seed csv metrics trace jobs =
+  let run id seed csv metrics trace ledger jobs =
     match Tormeasure.Registry.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try `tormeasure list`\n" id;
       exit 1
     | Some e ->
       apply_jobs jobs;
-      obs_start ~metrics ~trace;
+      obs_start ~metrics ~trace ~ledger;
       let report = Tormeasure.Registry.run_experiment e ~seed in
       Tormeasure.Report.print report;
       write_csv csv [ report ];
-      obs_finish ~metrics ~trace;
+      obs_finish ~metrics ~trace ~ledger;
       if not (Tormeasure.Report.all_ok report) then exit 2
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print paper-vs-measured rows")
-    Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ ledger_arg
+          $ jobs_arg)
 
 let netday_cmd =
   let clients_arg =
@@ -124,9 +140,9 @@ let netday_cmd =
     Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.relays
          & info [ "relays" ] ~docv:"N" ~doc)
   in
-  let run seed jobs clients shards relays metrics trace =
+  let run seed jobs clients shards relays metrics trace ledger =
     apply_jobs jobs;
-    obs_start ~metrics ~trace;
+    obs_start ~metrics ~trace ~ledger;
     let config =
       { Tormeasure.Netday.default with Tormeasure.Netday.clients; shards; relays }
     in
@@ -140,7 +156,7 @@ let netday_cmd =
       (String.concat " "
          (Array.to_list (Array.map string_of_int r.Tormeasure.Netday.per_shard_events)));
     List.iter (fun (name, v) -> Printf.printf "  %-20s %d\n" name v) r.Tormeasure.Netday.tallies;
-    obs_finish ~metrics ~trace
+    obs_finish ~metrics ~trace ~ledger
   in
   Cmd.v
     (Cmd.info "netday"
@@ -148,7 +164,7 @@ let netday_cmd =
          "Run one sharded whole-network day through the event ingestion path and report \
           events/sec. Deterministic per seed at any $(b,--jobs).")
     Term.(const run $ seed_arg $ jobs_arg $ clients_arg $ shards_arg $ relays_arg $ metrics_arg
-          $ trace_arg)
+          $ trace_arg $ ledger_arg)
 
 let ablations_cmd =
   let run () = List.iter Tormeasure.Report.print (Tormeasure.Ablations.all ()) in
@@ -156,9 +172,9 @@ let ablations_cmd =
     Term.(const run $ const ())
 
 let run_all_cmd =
-  let run seed csv metrics trace jobs =
+  let run seed csv metrics trace ledger jobs =
     apply_jobs jobs;
-    obs_start ~metrics ~trace;
+    obs_start ~metrics ~trace ~ledger;
     let reports = Tormeasure.Registry.run_all ~seed () in
     write_csv csv reports;
     let failed = List.filter (fun r -> not (Tormeasure.Report.all_ok r)) reports in
@@ -166,13 +182,54 @@ let run_all_cmd =
       (List.length reports - List.length failed)
       (List.length reports);
     List.iter (fun r -> Printf.printf "  shape deviations in %s\n" r.Tormeasure.Report.id) failed;
-    obs_finish ~metrics ~trace;
+    obs_finish ~metrics ~trace ~ledger;
     (* exit 2 on deviations, like `run` *)
     if failed <> [] then exit 2
   in
   Cmd.v (Cmd.info "run-all" ~doc:"Run every table and figure")
-    Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ ledger_arg $ jobs_arg)
+
+(* Replay a ledger written by --ledger: recompute cumulative budget
+   spend, re-check every proof outcome, and fail loudly (exit 2) on any
+   violation — the CI gate for unattended runs. *)
+let audit_cmd =
+  let file_arg =
+    let doc = "Ledger JSONL file written by a $(b,--ledger) run." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER" ~doc)
+  in
+  let run file =
+    let text =
+      match In_channel.with_open_text file In_channel.input_all with
+      | text -> text
+      | exception Sys_error msg ->
+        Printf.eprintf "audit: %s\n" msg;
+        exit 1
+    in
+    match Obs.Ledger.of_jsonl text with
+    | Error msg ->
+      Printf.eprintf "audit: %s: %s\n" file msg;
+      exit 1
+    | Ok events ->
+      print_string (Obs.Ledger.summary events);
+      let a = Obs.Ledger.audit events in
+      if a.Obs.Ledger.ok then
+        Printf.printf "audit ok: %d events, %d proofs verified, budgets within grants\n"
+          (List.length events) a.Obs.Ledger.proofs_checked
+      else begin
+        List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) a.Obs.Ledger.violations;
+        Printf.printf "audit FAILED: %d violation(s)\n" (List.length a.Obs.Ledger.violations);
+        exit 2
+      end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Replay a run ledger and verify it: every proof passed and no system drew more \
+          (ε,δ) than it was granted. Exits 2 on any violation.")
+    Term.(const run $ file_arg)
 
 let () =
   let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd; audit_cmd ]))

@@ -8,7 +8,7 @@ type setup = {
 }
 
 let make_setup ?(relays = 600) ~seed () =
-  Obs.Trace.with_span "harness.setup"
+  Obs.Ledger.phase "harness.setup"
     ~attrs:[ ("relays", string_of_int relays); ("seed", string_of_int seed) ]
   @@ fun () ->
   let net_rng = Prng.Rng.create (seed * 13 + 1) in

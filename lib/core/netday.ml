@@ -129,11 +129,19 @@ let run ?(config = default) ~seed () =
   if config.clients < 0 || config.promiscuous < 0 then
     invalid_arg "Netday.run: negative population";
   if config.visits_per_client < 0 then invalid_arg "Netday.run: negative visits";
+  Obs.Ledger.phase "netday.run"
+    ~attrs:
+      [ ("relays", string_of_int config.relays);
+        ("clients", string_of_int (config.clients + config.promiscuous));
+        ("shards", string_of_int config.shards);
+        ("jobs", string_of_int (Parallel.jobs ())) ]
+  @@ fun () ->
   let net_rng = Prng.Rng.create ((seed * 13) + 1) in
   let consensus =
-    Torsim.Netgen.generate
-      ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays = config.relays }
-      net_rng
+    Obs.Ledger.phase "netday.generate" (fun () ->
+        Torsim.Netgen.generate
+          ~config:{ Torsim.Netgen.default with Torsim.Netgen.relays = config.relays }
+          net_rng)
   in
   (* Two independent 64-bit streams per shard — one for the shard's
      engine, one for its workload — fixed by (seed, shard) alone. *)
@@ -168,14 +176,19 @@ let run ?(config = default) ~seed () =
       Workload.Exit_traffic.run engine population rng ~visits;
     (acc, Torsim.Engine.truth engine)
   in
-  (* The engines call into Obs when telemetry is enabled, and Obs is a
-     single-domain subsystem (PR 3's rule: never called in workers) —
-     so an instrumented run executes the shards sequentially. Results
-     are identical either way; only the wall time changes. *)
+  (* Instrumented shards record through per-chunk Obs scopes that the
+     pool merges back in shard index order, so telemetry no longer
+     forces this path sequential: metrics, spans and the ledger are
+     identical at any --jobs, like the tallies themselves. The empty
+     population still short-circuits to plain Array.init — no pool
+     spin-up for no work. *)
   let shard_results =
-    if Obs.enabled () || total_clients = 0 then Array.init config.shards run_shard
-    else Parallel.parallel_init ~min_chunk:1 config.shards run_shard
+    Obs.Ledger.phase "netday.shards" (fun () ->
+        if total_clients = 0 then Array.init config.shards run_shard
+        else Parallel.parallel_init ~min_chunk:1 config.shards run_shard)
   in
+  Obs.Ledger.phase "netday.merge"
+  @@ fun () ->
   (* Merge in shard index order. *)
   let truth = Torsim.Ground_truth.create () in
   Array.iter (fun (_, t) -> Torsim.Ground_truth.merge_into ~dst:truth t) shard_results;

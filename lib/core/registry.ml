@@ -97,7 +97,7 @@ let find id = List.find_opt (fun e -> e.id = id) all
 let run_experiment e ~seed =
   if not (Obs.enabled ()) then e.run ~seed
   else
-    Obs.Trace.with_span ("experiment." ^ e.id) ~attrs:[ ("paper_id", e.paper_id) ]
+    Obs.Ledger.phase ("experiment." ^ e.id) ~attrs:[ ("paper_id", e.paper_id) ]
     @@ fun () ->
     let wall0 = Obs.Trace.now () in
     let events0 =

@@ -53,6 +53,11 @@ let register t ~start_hour ~duration_hours ~system ~statistic ~params =
   Obs.Metrics.inc_float
     (Obs.Metrics.labeled "dp_schedule_epsilon_total" [ ("system", system_label) ])
     params.Mechanism.epsilon;
+  (* Campaign-level draw in the run ledger; namespaced apart from the
+     per-round systems so schedule spend and round spend audit
+     independently. *)
+  Obs.Ledger.draw ~system:("schedule/" ^ system_label) ~counter:statistic ~mechanism:"scheduled"
+    ~epsilon:params.Mechanism.epsilon ~delta:params.Mechanism.delta;
   t.records <- r :: t.records
 
 let total_spend t = Budget.compose (List.map (fun r -> r.params) t.records)

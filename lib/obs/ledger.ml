@@ -1,0 +1,541 @@
+(* Append-only run ledger: typed audit events proving what a
+   measurement run did — privacy-budget grants and draws with running
+   cumulative spend, zero-knowledge proof verification outcomes, and
+   phase boundaries with wall-clock and Gc-allocation deltas. The
+   ledger is the operator-facing evidence trail ("this round consumed
+   the (eps,delta) it was promised and every proof verified"), distinct
+   from the metrics registry: events are ordered, typed, and replayable
+   by [audit].
+
+   Everything recorded here must already be publishable: mechanism
+   parameters, proof verdicts, timings. torlint's privacy-flow pass
+   treats this module as a sink, so pre-noise counter residues can
+   never reach it.
+
+   Recording is gated on the global telemetry flag and, like Metrics
+   and Trace, is store-based: a pool task bracketed by
+   [scope_begin]/[scope_end] buffers its events domain-locally and the
+   orchestrator replays the buffers in task index order, so the ledger
+   for a given run is identical at any --jobs setting (timing fields
+   aside — [to_jsonl ~timings:false] is the canonical form). *)
+
+type event =
+  | Grant of { system : string; epsilon : float; delta : float }
+  | Draw of {
+      system : string;
+      counter : string;
+      mechanism : string;
+      epsilon : float;
+      delta : float;
+      cum_epsilon : float;
+      cum_delta : float;
+    }
+  | Proof of { kind : string; party : int; ok : bool; batch : int }
+  | Phase of { name : string; wall_s : float; alloc_bytes : float }
+  | Note of { key : string; value : string }
+
+(* --- recording --- *)
+
+let main : event list ref = ref [] (* reverse order *)
+let main_count = ref 0
+
+(* running (eps, delta) per system, maintained by [draw] *)
+let running : (string, float * float) Hashtbl.t = Hashtbl.create 8
+
+type scope = { mutable sl_events : event list; mutable sl_count : int }
+
+let scope_key : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let scope_begin () = Domain.DLS.set scope_key (Some { sl_events = []; sl_count = 0 })
+
+let scope_end () =
+  match Domain.DLS.get scope_key with
+  | Some s ->
+    Domain.DLS.set scope_key None;
+    s
+  | None -> { sl_events = []; sl_count = 0 }
+
+let append ev =
+  match Domain.DLS.get scope_key with
+  | Some s ->
+    s.sl_events <- ev :: s.sl_events;
+    s.sl_count <- s.sl_count + 1
+  | None ->
+    main := ev :: !main;
+    incr main_count
+
+let scope_merge (s : scope) = List.iter append (List.rev s.sl_events)
+
+let record ev = if !Control.on then append ev
+let grant ~system ~epsilon ~delta = record (Grant { system; epsilon; delta })
+
+(* Budget draws run orchestrator-side (schedule registration, protocol
+   setup), never inside pool workers: the cumulative spend is read from
+   one shared table at record time. *)
+let draw ~system ~counter ~mechanism ~epsilon ~delta =
+  if !Control.on then begin
+    let ce, cd =
+      match Hashtbl.find_opt running system with Some (e, d) -> (e, d) | None -> (0.0, 0.0)
+    in
+    let ce = ce +. epsilon and cd = cd +. delta in
+    Hashtbl.replace running system (ce, cd);
+    append (Draw { system; counter; mechanism; epsilon; delta; cum_epsilon = ce; cum_delta = cd })
+  end
+
+let proof ~kind ~party ~ok ~batch = record (Proof { kind; party; ok; batch })
+let note ~key ~value = record (Note { key; value })
+
+(* A phase is a traced span that additionally leaves a Phase event in
+   the ledger at completion (timings are the only jobs-dependent
+   fields; [audit] and the canonical form ignore them). *)
+let phase ?attrs name f =
+  if not !Control.on then f ()
+  else
+    Trace.with_span ?attrs name (fun () ->
+        let t0 = Trace.now () in
+        let a0 = Gc.allocated_bytes () in
+        let finish () =
+          append
+            (Phase
+               { name; wall_s = Trace.now () -. t0; alloc_bytes = Gc.allocated_bytes () -. a0 })
+        in
+        match f () with
+        | v ->
+          finish ();
+          v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt)
+
+let events () = List.rev !main
+let size () = !main_count
+
+let reset () =
+  main := [];
+  main_count := 0;
+  Hashtbl.reset running
+
+(* --- JSONL export --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest decimal that round-trips, so [of_jsonl] reconstructs every
+   field bit-for-bit (non-finite values cannot occur: all recorded
+   quantities are finite by construction). *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let event_json ~timings ev =
+  match ev with
+  | Grant { system; epsilon; delta } ->
+    Printf.sprintf "{\"e\":\"grant\",\"system\":\"%s\",\"epsilon\":%s,\"delta\":%s}"
+      (json_escape system) (json_float epsilon) (json_float delta)
+  | Draw { system; counter; mechanism; epsilon; delta; cum_epsilon; cum_delta } ->
+    Printf.sprintf
+      "{\"e\":\"draw\",\"system\":\"%s\",\"counter\":\"%s\",\"mechanism\":\"%s\",\"epsilon\":%s,\"delta\":%s,\"cum_epsilon\":%s,\"cum_delta\":%s}"
+      (json_escape system) (json_escape counter) (json_escape mechanism) (json_float epsilon)
+      (json_float delta) (json_float cum_epsilon) (json_float cum_delta)
+  | Proof { kind; party; ok; batch } ->
+    Printf.sprintf "{\"e\":\"proof\",\"kind\":\"%s\",\"party\":%d,\"ok\":%b,\"batch\":%d}"
+      (json_escape kind) party ok batch
+  | Phase { name; wall_s; alloc_bytes } ->
+    let w, a = if timings then (wall_s, alloc_bytes) else (0.0, 0.0) in
+    Printf.sprintf "{\"e\":\"phase\",\"name\":\"%s\",\"wall_s\":%s,\"alloc_bytes\":%s}"
+      (json_escape name) (json_float w) (json_float a)
+  | Note { key; value } ->
+    Printf.sprintf "{\"e\":\"note\",\"key\":\"%s\",\"value\":\"%s\"}" (json_escape key)
+      (json_escape value)
+
+let to_jsonl ?(timings = true) evs =
+  String.concat "" (List.map (fun ev -> event_json ~timings ev ^ "\n") evs)
+
+(* --- JSONL import --- *)
+
+(* Minimal parser for the flat one-object-per-line form [to_jsonl]
+   emits: string, number, and boolean fields only. *)
+
+exception Bad of string
+
+type jv = S of string | N of float | B of bool
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> raise (Bad (Printf.sprintf "expected '%c' at offset %d" c !pos))
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Bad "bad \\u escape")
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match line.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        (if !pos >= n then raise (Bad "unterminated escape");
+         match line.[!pos] with
+         | '"' ->
+           Buffer.add_char b '"';
+           incr pos
+         | '\\' ->
+           Buffer.add_char b '\\';
+           incr pos
+         | '/' ->
+           Buffer.add_char b '/';
+           incr pos
+         | 'n' ->
+           Buffer.add_char b '\n';
+           incr pos
+         | 'r' ->
+           Buffer.add_char b '\r';
+           incr pos
+         | 't' ->
+           Buffer.add_char b '\t';
+           incr pos
+         | 'u' ->
+           if !pos + 4 >= n then raise (Bad "truncated \\u escape");
+           let code =
+             (hex line.[!pos + 1] * 4096) + (hex line.[!pos + 2] * 256)
+             + (hex line.[!pos + 3] * 16) + hex line.[!pos + 4]
+           in
+           if code > 0xff then raise (Bad "unsupported \\u escape (non-latin1)");
+           Buffer.add_char b (Char.chr code);
+           pos := !pos + 5
+         | c -> raise (Bad (Printf.sprintf "bad escape '\\%c'" c)));
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub line !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else raise (Bad ("bad literal at offset " ^ string_of_int !pos))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> S (parse_string ())
+    | Some 't' -> literal "true" (B true)
+    | Some 'f' -> literal "false" (B false)
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match line.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then raise (Bad ("bad value at offset " ^ string_of_int start));
+      (match float_of_string_opt (String.sub line start (!pos - start)) with
+      | Some v -> N v
+      | None -> raise (Bad "bad number"))
+    | None -> raise (Bad "unexpected end of line")
+  in
+  expect '{';
+  skip_ws ();
+  let fields =
+    if peek () = Some '}' then begin
+      incr pos;
+      []
+    end
+    else begin
+      let acc = ref [] in
+      let rec go () =
+        skip_ws ();
+        let k = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        acc := (k, v) :: !acc;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          go ()
+        | Some '}' -> incr pos
+        | _ -> raise (Bad "expected ',' or '}'")
+      in
+      go ();
+      List.rev !acc
+    end
+  in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing characters after object");
+  fields
+
+let ( let* ) = Result.bind
+
+let str_field fields k =
+  match List.assoc_opt k fields with
+  | Some (S s) -> Ok s
+  | _ -> Error (Printf.sprintf "field %S missing or not a string" k)
+
+let num_field fields k =
+  match List.assoc_opt k fields with
+  | Some (N v) -> Ok v
+  | _ -> Error (Printf.sprintf "field %S missing or not a number" k)
+
+let int_field fields k =
+  let* v = num_field fields k in
+  if Float.is_integer v && Float.abs v <= 1e9 then Ok (int_of_float v)
+  else Error (Printf.sprintf "field %S is not an integer" k)
+
+let bool_field fields k =
+  match List.assoc_opt k fields with
+  | Some (B v) -> Ok v
+  | _ -> Error (Printf.sprintf "field %S missing or not a boolean" k)
+
+let event_of_fields fields =
+  let* tag = str_field fields "e" in
+  match tag with
+  | "grant" ->
+    let* system = str_field fields "system" in
+    let* epsilon = num_field fields "epsilon" in
+    let* delta = num_field fields "delta" in
+    Ok (Grant { system; epsilon; delta })
+  | "draw" ->
+    let* system = str_field fields "system" in
+    let* counter = str_field fields "counter" in
+    let* mechanism = str_field fields "mechanism" in
+    let* epsilon = num_field fields "epsilon" in
+    let* delta = num_field fields "delta" in
+    let* cum_epsilon = num_field fields "cum_epsilon" in
+    let* cum_delta = num_field fields "cum_delta" in
+    Ok (Draw { system; counter; mechanism; epsilon; delta; cum_epsilon; cum_delta })
+  | "proof" ->
+    let* kind = str_field fields "kind" in
+    let* party = int_field fields "party" in
+    let* ok = bool_field fields "ok" in
+    let* batch = int_field fields "batch" in
+    Ok (Proof { kind; party; ok; batch })
+  | "phase" ->
+    let* name = str_field fields "name" in
+    let* wall_s = num_field fields "wall_s" in
+    let* alloc_bytes = num_field fields "alloc_bytes" in
+    Ok (Phase { name; wall_s; alloc_bytes })
+  | "note" ->
+    let* key = str_field fields "key" in
+    let* value = str_field fields "value" in
+    Ok (Note { key; value })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) acc rest
+      else begin
+        let parsed =
+          match parse_object line with
+          | fields -> event_of_fields fields
+          | exception Bad msg -> Error msg
+        in
+        match parsed with
+        | Ok ev -> go (lineno + 1) (ev :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      end
+  in
+  go 1 [] lines
+
+(* --- audit --- *)
+
+type audit = {
+  ok : bool;
+  violations : string list;
+  proofs_checked : int;
+  proofs_failed : int;
+  grants : (string * (float * float)) list;  (* per system (eps, delta) *)
+  spends : (string * (float * float)) list;
+}
+
+(* relative comparison; absolute scale comes from the values themselves
+   so delta-magnitude (1e-11) discrepancies are still caught *)
+let close a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= 1e-9 *. scale
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun ((a : string), _) (b, _) -> compare a b)
+
+let audit evs =
+  let violations = ref [] in
+  let flag fmt = Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt in
+  let grants : (string, float * float) Hashtbl.t = Hashtbl.create 8 in
+  let spends : (string, float * float) Hashtbl.t = Hashtbl.create 8 in
+  let checked = ref 0 and failed = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Grant { system; epsilon; delta } ->
+        let e0, d0 =
+          match Hashtbl.find_opt grants system with Some g -> g | None -> (0.0, 0.0)
+        in
+        Hashtbl.replace grants system (e0 +. epsilon, d0 +. delta)
+      | Draw { system; counter; epsilon; delta; cum_epsilon; cum_delta; _ } ->
+        let e0, d0 =
+          match Hashtbl.find_opt spends system with Some s -> s | None -> (0.0, 0.0)
+        in
+        let e1 = e0 +. epsilon and d1 = d0 +. delta in
+        Hashtbl.replace spends system (e1, d1);
+        if not (close e1 cum_epsilon) then
+          flag "draw %s/%s: recorded cumulative epsilon %.9g disagrees with replay %.9g" system
+            counter cum_epsilon e1;
+        if not (close d1 cum_delta) then
+          flag "draw %s/%s: recorded cumulative delta %.9g disagrees with replay %.9g" system
+            counter cum_delta d1
+      | Proof { kind; party; ok; batch = _ } ->
+        incr checked;
+        if not ok then begin
+          incr failed;
+          flag "proof %s failed for party %d" kind party
+        end
+      | Phase _ | Note _ -> ())
+    evs;
+  List.iter
+    (fun (system, (eps, delta)) ->
+      match Hashtbl.find_opt grants system with
+      | None -> () (* ungranted systems are recorded but not bounded *)
+      | Some (ge, gd) ->
+        if eps > ge *. (1.0 +. 1e-9) then
+          flag "budget overspend for %s: epsilon %.9g drawn against grant %.9g" system eps ge;
+        if delta > gd *. (1.0 +. 1e-9) then
+          flag "budget overspend for %s: delta %.9g drawn against grant %.9g" system delta gd)
+    (sorted_bindings spends);
+  let violations = List.rev !violations in
+  {
+    ok = violations = [];
+    violations;
+    proofs_checked = !checked;
+    proofs_failed = !failed;
+    grants = sorted_bindings grants;
+    spends = sorted_bindings spends;
+  }
+
+(* --- human summary --- *)
+
+let summary evs =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "== run ledger ==\n";
+  let a = audit evs in
+  (* budgets *)
+  if a.grants <> [] || a.spends <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "   %-14s %14s %14s %14s %14s\n" "budget" "granted eps" "spent eps"
+         "granted delta" "spent delta");
+    let systems =
+      List.sort_uniq compare (List.map fst a.grants @ List.map fst a.spends)
+    in
+    List.iter
+      (fun system ->
+        let ge, gd =
+          match List.assoc_opt system a.grants with Some g -> g | None -> (0.0, 0.0)
+        in
+        let se, sd =
+          match List.assoc_opt system a.spends with Some s -> s | None -> (0.0, 0.0)
+        in
+        Buffer.add_string b
+          (Printf.sprintf "   %-14s %14.6g %14.6g %14.6g %14.6g\n" system ge se gd sd))
+      systems
+  end;
+  (* proofs by kind *)
+  let proofs : (string, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Proof { kind; ok; batch; _ } ->
+        let n, f, bt =
+          match Hashtbl.find_opt proofs kind with Some t -> t | None -> (0, 0, 0)
+        in
+        Hashtbl.replace proofs kind (n + 1, (f + if ok then 0 else 1), bt + batch)
+      | _ -> ())
+    evs;
+  if Hashtbl.length proofs > 0 then begin
+    Buffer.add_string b
+      (Printf.sprintf "   %-22s %8s %8s %12s\n" "proof" "checked" "failed" "batch total");
+    List.iter
+      (fun (kind, (n, f, bt)) ->
+        Buffer.add_string b (Printf.sprintf "   %-22s %8d %8d %12d\n" kind n f bt))
+      (sorted_bindings proofs)
+  end;
+  (* phases by name, in first-completion order *)
+  let order = ref [] in
+  let phases : (string, int * float * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Phase { name; wall_s; alloc_bytes } ->
+        (match Hashtbl.find_opt phases name with
+        | Some (n, w, al) -> Hashtbl.replace phases name (n + 1, w +. wall_s, al +. alloc_bytes)
+        | None ->
+          order := name :: !order;
+          Hashtbl.replace phases name (1, wall_s, alloc_bytes))
+      | _ -> ())
+    evs;
+  if !order <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "   %-34s %8s %12s %12s\n" "phase" "count" "total ms" "alloc MB");
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt phases name with
+        | Some (n, w, al) ->
+          Buffer.add_string b
+            (Printf.sprintf "   %-34s %8d %12.2f %12.2f\n" name n (1e3 *. w) (al /. 1048576.0))
+        | None -> ())
+      (List.rev !order)
+  end;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Note { key; value } -> Buffer.add_string b (Printf.sprintf "   note %s = %s\n" key value)
+      | _ -> ())
+    evs;
+  Buffer.add_string b
+    (Printf.sprintf "   %d events, %d proofs checked, %d failed\n" (List.length evs)
+       a.proofs_checked a.proofs_failed);
+  Buffer.contents b

@@ -1,0 +1,103 @@
+(** Append-only run ledger: typed audit events — privacy-budget grants
+    and draws with running cumulative spend, proof verification
+    outcomes, phase boundaries with wall/alloc deltas, and free-form
+    notes. Recording is a no-op while telemetry is disabled; an enabled
+    run's ledger is identical at any pool size (timing fields aside)
+    because pool workers buffer into domain-local scopes replayed in
+    task order (see {!Obs.Task}).
+
+    Everything recorded here must already be publishable (mechanism
+    parameters, proof verdicts, timings): torlint treats this module as
+    a privacy-flow sink, so pre-noise counter residues can never reach
+    it. *)
+
+type event =
+  | Grant of { system : string; epsilon : float; delta : float }
+      (** a system's total (eps, delta) budget, promised up front *)
+  | Draw of {
+      system : string;
+      counter : string;
+      mechanism : string;
+      epsilon : float;
+      delta : float;
+      cum_epsilon : float;  (** running spend for [system], this draw included *)
+      cum_delta : float;
+    }
+  | Proof of { kind : string; party : int; ok : bool; batch : int }
+      (** one verification outcome, e.g. a CP's shuffle proof over [batch] slots *)
+  | Phase of { name : string; wall_s : float; alloc_bytes : float }
+  | Note of { key : string; value : string }
+
+(** {2 Recording} *)
+
+val record : event -> unit
+(** Append a pre-built event (no-op while disabled). *)
+
+val grant : system:string -> epsilon:float -> delta:float -> unit
+
+val draw : system:string -> counter:string -> mechanism:string -> epsilon:float -> delta:float -> unit
+(** Record a budget draw; the cumulative fields are filled in from the
+    ledger's running per-system totals. Draws are orchestrator-side
+    operations (schedule registration, protocol setup) — do not record
+    them from inside pool workers. *)
+
+val proof : kind:string -> party:int -> ok:bool -> batch:int -> unit
+val note : key:string -> value:string -> unit
+
+val phase : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a {!Trace.with_span} span and additionally
+    record a [Phase] event at completion (also when the thunk raises).
+    Reduces to a plain call while disabled. *)
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+val size : unit -> int
+val reset : unit -> unit
+
+(** {2 Export / import} *)
+
+val to_jsonl : ?timings:bool -> event list -> string
+(** One JSON object per line. [~timings:false] zeroes the [wall_s] and
+    [alloc_bytes] fields of [Phase] events — the canonical form used to
+    compare ledgers across pool sizes. Floats are printed shortest
+    round-trip, so {!of_jsonl} reconstructs every field exactly. *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parse [to_jsonl] output (blank lines are skipped); the error
+    message names the first offending line. *)
+
+val summary : event list -> string
+(** Human-readable tables: budget spend per system, proof outcomes per
+    kind, phase timings, notes. *)
+
+(** {2 Audit} *)
+
+type audit = {
+  ok : bool;                (** no violations *)
+  violations : string list; (** human-readable, in detection order *)
+  proofs_checked : int;
+  proofs_failed : int;
+  grants : (string * (float * float)) list;  (** per system (eps, delta), name-sorted *)
+  spends : (string * (float * float)) list;
+}
+
+val audit : event list -> audit
+(** Replay a ledger: every [Proof] must verify, each [Draw]'s recorded
+    cumulative spend must match independent re-summation, and no
+    system's total spend may exceed its [Grant]s (systems that drew
+    without a grant are reported but unbounded). Comparisons are
+    relative to 1e-9, so float re-summation order cannot trip it while
+    delta-magnitude (1e-11) discrepancies still do. *)
+
+(** {2 Domain-local scopes} *)
+
+type scope
+
+val scope_begin : unit -> unit
+val scope_end : unit -> scope
+
+val scope_merge : scope -> unit
+(** Replay a detached scope's events, in order, at the current ledger
+    position. Orchestrator-side only; used by [lib/parallel] via
+    [Obs.Task]. *)

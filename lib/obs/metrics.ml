@@ -2,7 +2,13 @@
    fixed-bucket histograms with quantile estimates. All operations are
    name-based and no-ops while telemetry is disabled, so a disabled run
    leaves the registry empty (no residue). Metric names follow the
-   Prometheus convention; [labeled] builds the `name{k="v"}` form. *)
+   Prometheus convention; [labeled] builds the `name{k="v"}` form.
+
+   While a pool task has a scope open (scope_begin/scope_end, used by
+   lib/parallel), writes land in a domain-local side table instead of
+   the shared registry; [scope_merge] folds them back in on the
+   orchestrating domain, so worker domains never touch the registry
+   concurrently and the merged state matches a sequential run. *)
 
 type histogram = {
   bounds : float array;  (* strictly increasing bucket upper bounds *)
@@ -16,6 +22,39 @@ type value = Counter of float ref | Gauge of float ref | Histogram of histogram
 let registry : (string, value) Hashtbl.t = Hashtbl.create 64
 
 let reset () = Hashtbl.reset registry
+
+(* --- domain-local scopes --- *)
+
+type scope = {
+  sc_counters : (string, float ref) Hashtbl.t;
+  sc_hists : (string, histogram) Hashtbl.t;
+  mutable sc_gauges : (string * float) list;  (* reverse write order *)
+}
+
+let scope_key : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let scope_begin () =
+  Domain.DLS.set scope_key
+    (Some { sc_counters = Hashtbl.create 16; sc_hists = Hashtbl.create 8; sc_gauges = [] })
+
+let scope_end () =
+  match Domain.DLS.get scope_key with
+  | Some s ->
+    Domain.DLS.set scope_key None;
+    s
+  | None ->
+    (* unbalanced end: merging the empty scope is a no-op *)
+    { sc_counters = Hashtbl.create 1; sc_hists = Hashtbl.create 1; sc_gauges = [] }
+
+let active_scope () = Domain.DLS.get scope_key
+
+let scope_counter_ref s name =
+  match Hashtbl.find_opt s.sc_counters name with
+  | Some c -> c
+  | None ->
+    let c = ref 0.0 in
+    Hashtbl.replace s.sc_counters name c;
+    c
 
 (* --- label helper --- *)
 
@@ -63,14 +102,18 @@ let counter_ref name =
 let inc_float name by =
   if !Control.on then begin
     if by < 0.0 then invalid_arg (Printf.sprintf "Metrics.inc_float %s: counters are monotonic" name);
-    let c = counter_ref name in
+    let c =
+      match active_scope () with Some s -> scope_counter_ref s name | None -> counter_ref name
+    in
     c := !c +. by
   end
 
 let inc ?(by = 1) name =
   if !Control.on then begin
     if by < 0 then invalid_arg (Printf.sprintf "Metrics.inc %s: counters are monotonic" name);
-    let c = counter_ref name in
+    let c =
+      match active_scope () with Some s -> scope_counter_ref s name | None -> counter_ref name
+    in
     c := !c +. float_of_int by
   end
 
@@ -85,7 +128,11 @@ let gauge_ref name =
     Hashtbl.replace registry name (Gauge g);
     g
 
-let set name v = if !Control.on then gauge_ref name := v
+let set name v =
+  if !Control.on then
+    match active_scope () with
+    | Some s -> s.sc_gauges <- (name, v) :: s.sc_gauges
+    | None -> gauge_ref name := v
 
 (* --- histograms --- *)
 
@@ -108,18 +155,27 @@ let validate_bounds bounds =
     (fun i b -> if i > 0 && bounds.(i - 1) >= b then invalid_arg "Metrics: buckets not increasing")
     bounds
 
+let make_histogram buckets =
+  let bounds = match buckets with None -> default_buckets | Some b -> b in
+  validate_bounds bounds;
+  { bounds = Array.copy bounds; counts = Array.make (Array.length bounds + 1) 0;
+    sum = 0.0; total = 0 }
+
 let histogram_ref ?buckets name =
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a histogram" name)
   | None ->
-    let bounds = match buckets with None -> default_buckets | Some b -> b in
-    validate_bounds bounds;
-    let h =
-      { bounds = Array.copy bounds; counts = Array.make (Array.length bounds + 1) 0;
-        sum = 0.0; total = 0 }
-    in
+    let h = make_histogram buckets in
     Hashtbl.replace registry name (Histogram h);
+    h
+
+let scope_histogram_ref s ?buckets name =
+  match Hashtbl.find_opt s.sc_hists name with
+  | Some h -> h
+  | None ->
+    let h = make_histogram buckets in
+    Hashtbl.replace s.sc_hists name h;
     h
 
 let bucket_index bounds v =
@@ -130,7 +186,11 @@ let bucket_index bounds v =
 
 let observe ?buckets name v =
   if !Control.on then begin
-    let h = histogram_ref ?buckets name in
+    let h =
+      match active_scope () with
+      | Some s -> scope_histogram_ref s ?buckets name
+      | None -> histogram_ref ?buckets name
+    in
     let i = bucket_index h.bounds v in
     h.counts.(i) <- h.counts.(i) + 1;
     h.sum <- h.sum +. v;
@@ -200,3 +260,30 @@ let quantile name q =
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> histogram_quantile h q
   | _ -> None
+
+(* --- scope merge --- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun ((a : string), _) (b, _) -> compare a b)
+
+(* Fold a detached scope into the shared registry: counters and
+   histograms coalesce (order-free up to float-counter rounding in the
+   last ulps), gauge writes replay in recording order. Called on the
+   orchestrating domain only, after the pool barrier. *)
+let scope_merge (s : scope) =
+  List.iter
+    (fun (name, c) ->
+      let g = counter_ref name in
+      g := !g +. !c)
+    (sorted_bindings s.sc_counters);
+  List.iter
+    (fun (name, (h : histogram)) ->
+      let g = histogram_ref ~buckets:h.bounds name in
+      if g.bounds <> h.bounds then
+        invalid_arg (Printf.sprintf "Metrics: %s bucket bounds differ at scope merge" name);
+      Array.iteri (fun i c -> g.counts.(i) <- g.counts.(i) + c) h.counts;
+      g.sum <- g.sum +. h.sum;
+      g.total <- g.total + h.total)
+    (sorted_bindings s.sc_hists);
+  List.iter (fun (name, v) -> gauge_ref name := v) (List.rev s.sc_gauges)

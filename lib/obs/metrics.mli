@@ -51,3 +51,20 @@ val quantile : string -> float -> float option
     observations; overflow clamps to the last bound. *)
 
 val reset : unit -> unit
+
+(** {2 Domain-local scopes}
+
+    While a scope is open on a domain, [inc]/[set]/[observe] write into
+    a domain-local side table instead of the shared registry; the
+    orchestrating domain folds detached scopes back in with
+    [scope_merge] (counters and histograms coalesce, gauge writes
+    replay in order). Used by [lib/parallel] via [Obs.Task]. *)
+
+type scope
+
+val scope_begin : unit -> unit
+val scope_end : unit -> scope
+
+val scope_merge : scope -> unit
+(** Orchestrator-side only. Raises [Invalid_argument] if a scoped
+    histogram's bucket bounds differ from the registered ones. *)

@@ -4,7 +4,15 @@
    in-process buffer for export at end of run; a capacity cap bounds
    memory on event-heavy runs (drops are counted, nesting bookkeeping
    keeps working). With telemetry disabled, [with_span] is just a call
-   to the thunk. *)
+   to the thunk.
+
+   Recording is store-based: the process-global store, or — inside a
+   pool task bracketed by [scope_begin]/[scope_end] — a domain-local
+   scope store whose spans carry task-local ids and task-relative
+   depths. [scope_merge] renumbers a scope's spans under the caller's
+   currently open span, so merging per-chunk scopes in index order
+   reproduces the exact stream a sequential run would have produced
+   (ids, parents, depths and all — only the timing fields differ). *)
 
 type span = {
   id : int;
@@ -27,55 +35,117 @@ type frame = {
   fparent : int option;
 }
 
-let next_id = ref 0
-let stack : frame list ref = ref []
-let finished : span list ref = ref []  (* reverse completion order *)
-let finished_count = ref 0
+type store = {
+  mutable snext : int;
+  mutable sstack : frame list;
+  mutable sfinished : span list;  (* reverse completion order *)
+  mutable scount : int;
+}
+
+let make_store () = { snext = 0; sstack = []; sfinished = []; scount = 0 }
+
+let global = make_store ()
 let capacity = ref 100_000
 let dropped_count = ref 0
+
+type scope = store
+
+let scope_key : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let scope_begin () = Domain.DLS.set scope_key (Some (make_store ()))
+
+let scope_end () =
+  match Domain.DLS.get scope_key with
+  | Some s ->
+    Domain.DLS.set scope_key None;
+    s
+  | None -> make_store () (* unbalanced end: merge of the empty scope is a no-op *)
+
+let store () = match Domain.DLS.get scope_key with Some s -> s | None -> global
+
+(* The capacity cap guards the long-lived global buffer; scope buffers
+   are bounded by their chunk and counted against the cap at merge. *)
+let record st sp =
+  if st == global && st.scount >= !capacity then incr dropped_count
+  else begin
+    st.sfinished <- sp :: st.sfinished;
+    st.scount <- st.scount + 1
+  end
 
 let now () = Unix.gettimeofday ()
 
 let with_span ?(attrs = []) name f =
   if not !Control.on then f ()
   else begin
-    incr next_id;
+    let st = store () in
+    st.snext <- st.snext + 1;
     let fparent, fdepth =
-      match !stack with [] -> (None, 0) | fr :: _ -> (Some fr.fid, fr.fdepth + 1)
+      match st.sstack with [] -> (None, 0) | fr :: _ -> (Some fr.fid, fr.fdepth + 1)
     in
     let fr =
-      { fid = !next_id; fname = name; fattrs = attrs; fstart = now ();
+      { fid = st.snext; fname = name; fattrs = attrs; fstart = now ();
         falloc = Gc.allocated_bytes (); fdepth; fparent }
     in
-    stack := fr :: !stack;
-    Fun.protect f ~finally:(fun () ->
-        (match !stack with
-        | top :: tl when top.fid = fr.fid -> stack := tl
-        | _ -> () (* unbalanced reset mid-span; drop quietly *));
-        if !finished_count < !capacity then begin
-          finished :=
-            { id = fr.fid; parent = fr.fparent; depth = fr.fdepth; name = fr.fname;
-              attrs = List.rev fr.fattrs; start_s = fr.fstart;
-              duration_s = now () -. fr.fstart;
-              alloc_bytes = Gc.allocated_bytes () -. fr.falloc }
-            :: !finished;
-          incr finished_count
-        end
-        else incr dropped_count)
+    st.sstack <- fr :: st.sstack;
+    let finish () =
+      (* Pop down to [fr] even if the thunk leaked frames above it (an
+         exception that unwound through children, or a reset mid-span
+         that emptied the stack entirely). *)
+      let rec pop = function
+        | top :: tl -> if top.fid = fr.fid then st.sstack <- tl else pop tl
+        | [] -> ()
+      in
+      if List.exists (fun top -> top.fid = fr.fid) st.sstack then pop st.sstack;
+      record st
+        { id = fr.fid; parent = fr.fparent; depth = fr.fdepth; name = fr.fname;
+          attrs = List.rev fr.fattrs; start_s = fr.fstart;
+          duration_s = now () -. fr.fstart;
+          alloc_bytes = Gc.allocated_bytes () -. fr.falloc }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      fr.fattrs <- ("error", Printexc.to_string e) :: fr.fattrs;
+      finish ();
+      Printexc.raise_with_backtrace e bt
   end
 
 let add_attr k v =
   if !Control.on then
-    match !stack with [] -> () | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
+    let st = store () in
+    match st.sstack with [] -> () | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
 
-let spans () = List.rev !finished
-let count () = !finished_count
+(* Renumber a scope's spans as if they had been recorded inline at the
+   current point: local ids shift past every id the global store has
+   handed out, local roots attach under the innermost open global span,
+   and depths shift by that anchor's depth. *)
+let scope_merge (s : scope) =
+  let base = global.snext in
+  let anchor_parent, anchor_depth =
+    match global.sstack with [] -> (None, 0) | fr :: _ -> (Some fr.fid, fr.fdepth + 1)
+  in
+  List.iter
+    (fun sp ->
+      record global
+        { sp with
+          id = base + sp.id;
+          parent =
+            (match sp.parent with Some p -> Some (base + p) | None -> anchor_parent);
+          depth = sp.depth + anchor_depth })
+    (List.rev s.sfinished);
+  global.snext <- base + s.snext
+
+let spans () = List.rev global.sfinished
+let count () = global.scount
 let dropped () = !dropped_count
 let set_capacity n = if n < 0 then invalid_arg "Trace.set_capacity" else capacity := n
 
 let reset () =
-  next_id := 0;
-  stack := [];
-  finished := [];
-  finished_count := 0;
+  global.snext <- 0;
+  global.sstack <- [];
+  global.sfinished <- [];
+  global.scount <- 0;
   dropped_count := 0

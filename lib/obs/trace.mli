@@ -16,7 +16,10 @@ type span = {
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span. The span is recorded even when the
-    thunk raises (the exception is re-raised). *)
+    thunk raises: frames the exception unwound through are discarded, an
+    ["error"] attribute carrying the exception is attached, and the
+    exception is re-raised with its backtrace — the surrounding nesting
+    state is exactly as if the thunk had returned. *)
 
 val add_attr : string -> string -> unit
 (** Attach an attribute to the innermost open span (no-op outside any
@@ -39,3 +42,25 @@ val set_capacity : int -> unit
     [dropped] rather than kept. *)
 
 val reset : unit -> unit
+
+(** {2 Domain-local scopes}
+
+    Recording normally targets the process-global buffer. A pool task
+    brackets its work in [scope_begin]/[scope_end] so every span it
+    records lands in a buffer local to its domain; the orchestrating
+    domain later replays the buffers in task index order with
+    [scope_merge], which renumbers ids/parents/depths so the merged
+    stream is identical to a sequential run (timing fields aside).
+    Callers normally reach this via [Obs.Task], not directly. *)
+
+type scope
+
+val scope_begin : unit -> unit
+(** Start buffering this domain's spans into a fresh scope. *)
+
+val scope_end : unit -> scope
+(** Stop buffering and detach the scope for a later [scope_merge]. *)
+
+val scope_merge : scope -> unit
+(** Replay a scope into the global buffer at the current nesting point
+    (anchored under the innermost open span). Orchestrator-side only. *)

@@ -11,6 +11,12 @@
     slot [i] of the result, so scheduling cannot reorder anything
     observable. See DESIGN.md §3c.
 
+    Telemetry is allowed inside workers: while [Obs.enabled ()], every
+    chunk records into a domain-local scope ([Obs.Task]) that the
+    calling domain merges back in index order after the barrier, so
+    metrics, spans and the run ledger are also identical at any pool
+    size (timing fields aside).
+
     The pool holds [jobs () - 1] worker domains (the calling domain
     participates as the last worker) and is started lazily on the first
     parallel call with [jobs () > 1]. With the default [jobs () = 1]

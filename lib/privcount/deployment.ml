@@ -29,7 +29,7 @@ let create ?noise_weights cfg ~num_dcs ~seed =
   if num_dcs < 1 then invalid_arg "Deployment.create: need at least one DC";
   let jobs = Parallel.jobs () in
   Obs.Metrics.set "privcount_parallel_jobs" (float_of_int jobs);
-  Obs.Trace.with_span "privcount.setup"
+  Obs.Ledger.phase "privcount.setup"
     ~attrs:
       [ ("dcs", string_of_int num_dcs); ("sks", string_of_int cfg.num_sks);
         ("counters", string_of_int (List.length cfg.specs));
@@ -41,6 +41,26 @@ let create ?noise_weights cfg ~num_dcs ~seed =
      in sorted name order, so id order IS the draw order the round
      always used. *)
   let intern = Counter.Intern.of_specs cfg.specs in
+  (* Ledger: the round's budget grant up front, then one draw per
+     counter in id (= sorted name) order. The grant records what the
+     configuration authorizes: with split_budget, ε is divided across
+     the counters and the draws sum back to ε; without it the operator
+     has opted into per-statistic accounting and every counter is
+     granted the full ε. `tormeasure audit` then flags any round that
+     draws beyond its own policy. *)
+  if Obs.enabled () then begin
+    let authorized =
+      if cfg.split_budget then 1.0 else float_of_int (List.length cfg.specs)
+    in
+    Obs.Ledger.grant ~system:"privcount"
+      ~epsilon:(authorized *. cfg.params.Dp.Mechanism.epsilon)
+      ~delta:(authorized *. cfg.params.Dp.Mechanism.delta);
+    let pc = per_counter_params cfg in
+    for c = 0 to Counter.Intern.size intern - 1 do
+      Obs.Ledger.draw ~system:"privcount" ~counter:(Counter.Intern.name intern c)
+        ~mechanism:"gaussian" ~epsilon:pc.Dp.Mechanism.epsilon ~delta:pc.Dp.Mechanism.delta
+    done
+  end;
   let sks = Array.init cfg.num_sks (fun id -> Sk.create ~id ~intern ~num_dcs) in
   (* Pairwise blinding: DC d and SK k derive identical per-counter
      shares from a shared seed (standing in for PrivCount's encrypted
@@ -93,6 +113,27 @@ let create ?noise_weights cfg ~num_dcs ~seed =
         in
         Dc.create ~id ~intern ~noise_sigma_per_dc:(sigma_per_dc_at id) ~blinding ~noise_rng)
   in
+  (* Blinding check: with telemetry on, re-derive every (dc, sk) share
+     stream sequentially and compare it against the pool-generated
+     tensor — a genuine integrity check that the parallel exchange
+     produced exactly the shares the sequential protocol would have —
+     and record the outcome per DC in the run ledger. *)
+  if Obs.enabled () then
+    Array.iter
+      (fun dc ->
+        let id = Dc.id dc in
+        let ok = ref true in
+        for sk = 0 to cfg.num_sks - 1 do
+          let drbg = share_drbg ~dc:id ~sk in
+          let expect = shares_tensor.((id * cfg.num_sks) + sk) in
+          for c = 0 to num_counters - 1 do
+            if Crypto.Drbg.uniform drbg Crypto.Secret_sharing.modulus <> expect.(c) then
+              ok := false
+          done
+        done;
+        Obs.Ledger.proof ~kind:"privcount-blinding" ~party:id ~ok:!ok
+          ~batch:(cfg.num_sks * num_counters))
+      dcs;
   { cfg; intern; dcs; sks; tallied = false }
 
 let num_dcs t = Array.length t.dcs
@@ -134,7 +175,7 @@ let tally ?(dropped_dcs = []) t =
     (fun dc ->
       if dc < 0 || dc >= Array.length t.dcs then invalid_arg "Deployment.tally: bad dropped dc")
     dropped_dcs;
-  Obs.Trace.with_span "privcount.tally"
+  Obs.Ledger.phase "privcount.tally"
     ~attrs:
       [ ("dcs", string_of_int (Array.length t.dcs));
         ("counters", string_of_int (List.length t.cfg.specs));

@@ -10,14 +10,17 @@ type config = {
   tamper : tamper option;
       (* fault injection for tests: make one CP misbehave and check the
          proofs identify it *)
+  dp : Dp.Mechanism.params option;
+      (* the (eps, delta) the noise was calibrated for; recorded as a
+         budget grant + draw in the run ledger when present *)
 }
 
 let config ?(num_cps = 3) ?(noise_flips_per_cp = 64) ?(proof_rounds = Some 8) ?(verify = true)
-    ?(confidence = 0.95) ?tamper ~table_size () =
+    ?(confidence = 0.95) ?tamper ?dp ~table_size () =
   if table_size <= 0 then invalid_arg "Protocol.config: table_size must be positive";
   if num_cps < 1 then invalid_arg "Protocol.config: need at least one CP";
   if noise_flips_per_cp < 0 then invalid_arg "Protocol.config: negative flips";
-  { table_size; num_cps; noise_flips_per_cp; proof_rounds; verify; confidence; tamper }
+  { table_size; num_cps; noise_flips_per_cp; proof_rounds; verify; confidence; tamper; dp }
 
 let flips_for_params params ~sensitivity ~num_cps =
   let total = Dp.Mechanism.binomial_n_for params ~sensitivity in
@@ -42,7 +45,9 @@ let create cfg ~num_dcs ~seed =
   Array.iter
     (fun cp ->
       let proof = Cp.key_proof cp in
-      if not (Cp.verify_key_proof ~id:(Cp.id cp) ~pub:(Cp.public_key cp) proof) then
+      let ok = Cp.verify_key_proof ~id:(Cp.id cp) ~pub:(Cp.public_key cp) proof in
+      Obs.Ledger.proof ~kind:"psc-key" ~party:(Cp.id cp) ~ok ~batch:1;
+      if not ok then
         (* torlint: allow hygiene/failwith-in-lib — setup abort on a bad
            CP key proof is the protocol-mandated response *)
         failwith "Protocol.create: CP key proof rejected")
@@ -128,11 +133,13 @@ let run t =
   if t.finished then invalid_arg "Protocol.run: round already run";
   record_table_metrics t;
   (* Worker count for this round; all parallel phases below run on the
-     same pool. Obs calls stay on the orchestrating domain. *)
+     same pool. Worker-side Obs calls buffer into per-chunk scopes and
+     merge back in index order, so the ledger and spans are the same at
+     any pool size. *)
   let jobs = Parallel.jobs () in
   let jobs_attr = ("jobs", string_of_int jobs) in
   Obs.Metrics.set "psc_parallel_jobs" (float_of_int jobs);
-  Obs.Trace.with_span "psc.run"
+  Obs.Ledger.phase "psc.run"
     ~attrs:
       [ ("table_size", string_of_int t.cfg.table_size);
         ("cps", string_of_int (Array.length t.cps));
@@ -140,6 +147,12 @@ let run t =
         jobs_attr ]
   @@ fun () ->
   t.finished <- true;
+  (match t.cfg.dp with
+  | Some p ->
+    Obs.Ledger.grant ~system:"psc" ~epsilon:p.Dp.Mechanism.epsilon ~delta:p.Dp.Mechanism.delta;
+    Obs.Ledger.draw ~system:"psc" ~counter:"cardinality" ~mechanism:"binomial"
+      ~epsilon:p.Dp.Mechanism.epsilon ~delta:p.Dp.Mechanism.delta
+  | None -> ());
   let culprits = ref [] in
   let blame cp_id = if not (List.mem cp_id !culprits) then culprits := cp_id :: !culprits in
   let tampering cp action =
@@ -149,14 +162,14 @@ let run t =
   in
   (* 1. combine the DCs' tables into the encrypted union *)
   let combined =
-    Obs.Trace.with_span "psc.combine" ~attrs:[ jobs_attr ] (fun () ->
+    Obs.Ledger.phase "psc.combine" ~attrs:[ jobs_attr ] (fun () ->
         Table.combine (Array.to_list t.tables))
   in
   (* 2. every CP appends its encrypted noise bits; with verification on,
      each slot carries a disjunctive bit-validity proof checked here *)
   let tamper_drbg = Crypto.Drbg.create "psc-tamper" in
   let with_noise =
-    Obs.Trace.with_span "psc.noise"
+    Obs.Ledger.phase "psc.noise"
       ~attrs:[ ("flips_per_cp", string_of_int t.cfg.noise_flips_per_cp); jobs_attr ]
     @@ fun () ->
     let per_cp =
@@ -187,7 +200,10 @@ let run t =
                   let ct, proof = proven.(i) in
                   Crypto.Bit_proof.verify ~pk_tab:t.joint_tab ~pk:t.joint ct proof)
             in
-            if not (Array.for_all Fun.id oks) then blame (Cp.id cp);
+            let ok = Array.for_all Fun.id oks in
+            Obs.Ledger.proof ~kind:"psc-noise-bit" ~party:(Cp.id cp) ~ok
+              ~batch:(Array.length proven);
+            if not ok then blame (Cp.id cp);
             Array.map fst proven
           end
           else Cp.noise_slots ~tab:t.joint_tab cp ~joint:t.joint ~flips:t.cfg.noise_flips_per_cp)
@@ -204,7 +220,7 @@ let run t =
       (fun vector cp ->
         let cp_attr = [ ("cp", string_of_int (Cp.id cp)); jobs_attr ] in
         let output, proof =
-          Obs.Trace.with_span "psc.shuffle" ~attrs:cp_attr (fun () ->
+          Obs.Ledger.phase "psc.shuffle" ~attrs:cp_attr (fun () ->
               Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector)
         in
         let output =
@@ -218,25 +234,33 @@ let run t =
         in
         (match (t.cfg.verify, proof) with
         | true, Some proof ->
-          if not (Crypto.Shuffle.verify t.joint ~input:vector ~output proof) then
-            blame (Cp.id cp)
-        | true, None when t.cfg.proof_rounds <> None -> blame (Cp.id cp)
+          let ok = Crypto.Shuffle.verify t.joint ~input:vector ~output proof in
+          Obs.Ledger.proof ~kind:"psc-shuffle" ~party:(Cp.id cp) ~ok
+            ~batch:(Array.length vector);
+          if not ok then blame (Cp.id cp)
+        | true, None when t.cfg.proof_rounds <> None ->
+          (* a CP that was asked for a proof and produced none fails
+             verification outright *)
+          Obs.Ledger.proof ~kind:"psc-shuffle" ~party:(Cp.id cp) ~ok:false ~batch:0;
+          blame (Cp.id cp)
         | _ -> ());
-        Obs.Trace.with_span "psc.rerandomize" ~attrs:cp_attr (fun () ->
+        Obs.Ledger.phase "psc.rerandomize" ~attrs:cp_attr (fun () ->
             Cp.rerandomize_bits cp output))
       with_noise t.cps
   in
   (* 4. joint verifiable decryption *)
   let raw_nonzero = ref 0 in
-  Obs.Trace.with_span "psc.decrypt" ~attrs:[ jobs_attr ] (fun () ->
+  Obs.Ledger.phase "psc.decrypt" ~attrs:[ jobs_attr ] (fun () ->
       let shares =
         Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps
       in
       if t.cfg.verify then
         Array.iter2
           (fun cp share ->
-            if not (Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share) then
-              blame (Cp.id cp))
+            let ok = Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share in
+            Obs.Ledger.proof ~kind:"psc-decrypt" ~party:(Cp.id cp) ~ok
+              ~batch:(Array.length shuffled);
+            if not ok then blame (Cp.id cp))
           t.cps shares;
       let plains =
         Crypto.Elgamal.combine_partial_all shuffled ~parties:(Array.length shares)
@@ -248,7 +272,7 @@ let run t =
         plains);
   (* 5. estimate: subtract the noise mean, invert the occupancy bias *)
   let estimate, ci =
-    Obs.Trace.with_span "psc.estimate" @@ fun () ->
+    Obs.Ledger.phase "psc.estimate" @@ fun () ->
     let occupied = float_of_int !raw_nonzero -. (float_of_int total_flips /. 2.0) in
     let estimate =
       Stats.Ci.invert_occupancy ~table_size:t.cfg.table_size

@@ -22,11 +22,15 @@ type config = {
   verify : bool;  (** verify noise, shuffle and decryption proofs *)
   confidence : float;
   tamper : tamper option;
+  dp : Dp.Mechanism.params option;
+      (** the (ε,δ) the configured noise was calibrated for; recorded
+          as a budget grant + draw in the run ledger when present *)
 }
 
 val config :
   ?num_cps:int -> ?noise_flips_per_cp:int -> ?proof_rounds:int option ->
-  ?verify:bool -> ?confidence:float -> ?tamper:tamper -> table_size:int -> unit -> config
+  ?verify:bool -> ?confidence:float -> ?tamper:tamper -> ?dp:Dp.Mechanism.params ->
+  table_size:int -> unit -> config
 
 val flips_for_params : Dp.Mechanism.params -> sensitivity:float -> num_cps:int -> int
 (** Per-CP flips so the total binomial noise gives (ε,δ)-DP. *)

@@ -89,6 +89,10 @@ let test_privflow () =
     (lint ~path:"bin/fixture.ml" leak);
   check_flags "raw SK sums in obs" ~rule:"privflow/raw-counter-leak"
     (lint ~path:"lib/obs/fixture.ml" "let leak sk = Privcount.Sk.report sk");
+  (* the run ledger is a sink: pre-noise counter residues can never be
+     recorded as audit events *)
+  check_flags "raw DC sums in the run ledger" ~rule:"privflow/raw-counter-leak"
+    (lint ~path:"lib/obs/ledger.ml" leak);
   check_flags "ground truth in report layer" ~rule:"privflow/raw-counter-leak"
     (lint ~path:"lib/core/report_util.ml" "let truth p = Psc.Protocol.true_union_size p");
   (* lib/dp is the DP laundering point: the same reference is legitimate *)

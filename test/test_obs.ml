@@ -95,6 +95,30 @@ let test_span_survives_exception () =
       (try Obs.Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
       Alcotest.(check int) "span recorded" 1 (Obs.Trace.count ()))
 
+(* Regression: an exception unwinding through nested spans must restore
+   the ambient nesting — the next span opens at the root, and only the
+   spans the exception actually crossed carry the "error" attribute. *)
+let test_span_exception_restores_nesting () =
+  with_obs (fun () ->
+      (try
+         Obs.Trace.with_span "outer" (fun () ->
+             Obs.Trace.with_span "inner" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      Obs.Trace.with_span "after" (fun () -> ());
+      match Obs.Trace.spans () with
+      | [ inner; outer; after ] ->
+        Alcotest.(check string) "inner closes first" "inner" inner.Obs.Trace.name;
+        Alcotest.(check string) "outer closes second" "outer" outer.Obs.Trace.name;
+        Alcotest.(check string) "clean span last" "after" after.Obs.Trace.name;
+        Alcotest.(check int) "next span reopens at root" 0 after.Obs.Trace.depth;
+        Alcotest.(check (option int)) "next span has no parent" None after.Obs.Trace.parent;
+        Alcotest.(check bool) "raising spans carry error attr" true
+          (List.mem_assoc "error" inner.Obs.Trace.attrs
+          && List.mem_assoc "error" outer.Obs.Trace.attrs);
+        Alcotest.(check bool) "clean span has no error attr" true
+          (not (List.mem_assoc "error" after.Obs.Trace.attrs))
+      | spans -> Alcotest.fail (Printf.sprintf "expected 3 spans, got %d" (List.length spans)))
+
 let test_span_capacity () =
   with_obs (fun () ->
       Obs.Trace.set_capacity 3;
@@ -106,6 +130,24 @@ let test_span_capacity () =
           done;
           Alcotest.(check int) "kept" 3 (Obs.Trace.count ());
           Alcotest.(check int) "dropped" 2 (Obs.Trace.dropped ())))
+
+let test_quantile_edge_cases () =
+  with_obs (fun () ->
+      let buckets = [| 1.0; 2.0 |] in
+      Obs.Metrics.observe ~buckets "one" 1.5;
+      let q x = Option.get (Obs.Metrics.quantile "one" x) in
+      Alcotest.(check (float 1e-9)) "q=0 at bucket lower bound" 1.0 (q 0.0);
+      Alcotest.(check (float 1e-9)) "q=0.5 interpolates" 1.5 (q 0.5);
+      Alcotest.(check (float 1e-9)) "q=1 at bucket upper bound" 2.0 (q 1.0);
+      Alcotest.(check (float 1e-9)) "q clamps below" 1.0 (q (-3.0));
+      Alcotest.(check (float 1e-9)) "q clamps above" 2.0 (q 7.0);
+      (* a lone overflow observation clamps to the last finite bound *)
+      Obs.Metrics.observe ~buckets "over" 50.0;
+      Alcotest.(check (float 1e-9)) "overflow clamps" 2.0
+        (Option.get (Obs.Metrics.quantile "over" 0.5));
+      Obs.Metrics.inc "c_total";
+      Alcotest.(check (option (float 0.0))) "non-histogram name" None
+        (Obs.Metrics.quantile "c_total" 0.5))
 
 (* --- exporters --- *)
 
@@ -160,6 +202,18 @@ let test_trace_jsonl_parseable () =
       Alcotest.(check bool) "escaped quotes" true
         (is_infix ~affix:{|\"hi\"|} out))
 
+let test_snapshot_json_parses_back () =
+  with_obs (fun () ->
+      Alcotest.(check string) "empty registry" "{}"
+        (Obs.Export.snapshot_json (Obs.Metrics.snapshot ()));
+      (* values chosen to round-trip exactly at the exporter's precision *)
+      Obs.Metrics.inc ~by:3 "c_total";
+      Obs.Metrics.set "g" (-0.125);
+      Obs.Metrics.observe ~buckets:[| 1.0; 2.0 |] "h" 1.5;
+      Alcotest.(check string) "field for field"
+        {|{"c_total":3,"g":-0.125,"h":{"sum":1.5,"count":1}}|}
+        (Obs.Export.snapshot_json (Obs.Metrics.snapshot ())))
+
 let test_summary_nonempty () =
   with_obs (fun () ->
       Obs.Metrics.inc "c_total";
@@ -167,6 +221,175 @@ let test_summary_nonempty () =
       let s = Obs.Export.summary (Obs.Metrics.snapshot ()) (Obs.Trace.spans ()) in
       Alcotest.(check bool) "mentions span" true (is_infix ~affix:"s" s);
       Alcotest.(check bool) "mentions metric" true (is_infix ~affix:"c_total" s))
+
+(* --- run ledger --- *)
+
+let test_ledger_draw_accumulates () =
+  with_obs (fun () ->
+      Obs.Ledger.grant ~system:"a" ~epsilon:1.0 ~delta:1e-9;
+      Obs.Ledger.draw ~system:"a" ~counter:"x" ~mechanism:"gaussian" ~epsilon:0.25 ~delta:2e-10;
+      Obs.Ledger.draw ~system:"b" ~counter:"y" ~mechanism:"binomial" ~epsilon:0.5 ~delta:0.0;
+      Obs.Ledger.draw ~system:"a" ~counter:"z" ~mechanism:"gaussian" ~epsilon:0.25 ~delta:2e-10;
+      (match Obs.Ledger.events () with
+      | [ Obs.Ledger.Grant { system = "a"; _ };
+          Obs.Ledger.Draw { cum_epsilon = c1; _ };
+          Obs.Ledger.Draw { system = "b"; cum_epsilon = c2; _ };
+          Obs.Ledger.Draw { cum_epsilon = c3; cum_delta = d3; _ } ] ->
+        Alcotest.(check (float 1e-12)) "first draw cum" 0.25 c1;
+        Alcotest.(check (float 1e-12)) "systems accumulate independently" 0.5 c2;
+        Alcotest.(check (float 1e-12)) "second draw adds" 0.5 c3;
+        Alcotest.(check (float 1e-20)) "delta accumulates" 4e-10 d3
+      | evs -> Alcotest.fail (Printf.sprintf "unexpected events (%d)" (List.length evs)));
+      let a = Obs.Ledger.audit (Obs.Ledger.events ()) in
+      Alcotest.(check bool) "within grant, ungranted system unbounded" true a.Obs.Ledger.ok;
+      Alcotest.(check (list string)) "no violations" [] a.Obs.Ledger.violations)
+
+let test_ledger_phase_event () =
+  with_obs (fun () ->
+      let v = Obs.Ledger.phase "p" ~attrs:[ ("k", "v") ] (fun () -> 7) in
+      Alcotest.(check int) "transparent" 7 v;
+      (try Obs.Ledger.phase "q" (fun () -> failwith "x") with Failure _ -> ());
+      match Obs.Ledger.events () with
+      | [ Obs.Ledger.Phase { name = "p"; wall_s; _ }; Obs.Ledger.Phase { name = "q"; _ } ] ->
+        Alcotest.(check bool) "wall time non-negative" true (wall_s >= 0.0);
+        Alcotest.(check int) "one span per phase" 2 (Obs.Trace.count ())
+      | _ -> Alcotest.fail "expected two phase events")
+
+let roundtrip_events =
+  [
+    Obs.Ledger.Grant { system = "privcount"; epsilon = 0.3; delta = 1e-11 };
+    Obs.Ledger.Draw
+      { system = "s \"q\" \\ \n"; counter = "c\twith\ttabs"; mechanism = "gaussian";
+        epsilon = 0.1; delta = 0.0; cum_epsilon = 0.1; cum_delta = 0.0 };
+    Obs.Ledger.Proof { kind = "shuffle"; party = 2; ok = false; batch = 256 };
+    Obs.Ledger.Phase { name = "phase/one"; wall_s = 0.03125; alloc_bytes = 1234567.0 };
+    Obs.Ledger.Note { key = "k"; value = "v\x01control \xc3\xa9" };
+  ]
+
+let test_ledger_jsonl_roundtrip () =
+  (match Obs.Ledger.of_jsonl (Obs.Ledger.to_jsonl roundtrip_events) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> Alcotest.(check bool) "field for field" true (back = roundtrip_events));
+  (* canonical form: Phase timings zeroed, everything else untouched *)
+  (match Obs.Ledger.of_jsonl (Obs.Ledger.to_jsonl ~timings:false roundtrip_events) with
+  | Error e -> Alcotest.fail e
+  | Ok canon ->
+    Alcotest.(check bool) "timings zeroed" true
+      (List.exists
+         (function Obs.Ledger.Phase { wall_s = 0.0; alloc_bytes = 0.0; _ } -> true | _ -> false)
+         canon));
+  (match Obs.Ledger.of_jsonl "{\"e\":\"nope\"}" with
+  | Ok _ -> Alcotest.fail "accepted unknown event tag"
+  | Error msg -> Alcotest.(check bool) "error names the line" true (is_infix ~affix:"line 1" msg))
+
+(* Structural round-trip on randomized events: arbitrary byte strings
+   (escapes included) and awkward floats must reconstruct exactly. *)
+let prop_ledger_roundtrip =
+  let gen_float =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.oneofl [ 0.0; 1e-11; 0.3; -2.5; 1.5e300; 4.9e-324; 0.1 ];
+        QCheck.Gen.map (fun i -> float_of_int i /. 7.0) (QCheck.Gen.int_range (-10_000) 10_000);
+      ]
+  in
+  let gen_event =
+    let open QCheck.Gen in
+    let str = string_size ~gen:(int_range 0 255 >|= Char.chr) (int_range 0 12) in
+    oneof
+      [
+        map3 (fun s e d -> Obs.Ledger.Grant { system = s; epsilon = e; delta = d })
+          str gen_float gen_float;
+        map3
+          (fun (s, c, m) (e, d) (ce, cd) ->
+            Obs.Ledger.Draw
+              { system = s; counter = c; mechanism = m; epsilon = e; delta = d;
+                cum_epsilon = ce; cum_delta = cd })
+          (triple str str str) (pair gen_float gen_float) (pair gen_float gen_float);
+        map3 (fun k p (ok, b) -> Obs.Ledger.Proof { kind = k; party = p; ok; batch = b })
+          str small_nat (pair bool small_nat);
+        map3 (fun n w a -> Obs.Ledger.Phase { name = n; wall_s = w; alloc_bytes = a })
+          str gen_float gen_float;
+        map2 (fun k v -> Obs.Ledger.Note { key = k; value = v }) str str;
+      ]
+  in
+  QCheck.Test.make ~name:"ledger jsonl round-trips" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 8) gen_event))
+    (fun events ->
+      match Obs.Ledger.of_jsonl (Obs.Ledger.to_jsonl events) with
+      | Ok back -> back = events
+      | Error _ -> false)
+
+let test_audit_flags_violations () =
+  let draw cum =
+    Obs.Ledger.Draw
+      { system = "s"; counter = "c"; mechanism = "m"; epsilon = 0.2; delta = 0.0;
+        cum_epsilon = cum; cum_delta = 0.0 }
+  in
+  let failed = Obs.Ledger.audit [ Obs.Ledger.Proof { kind = "shuffle"; party = 1; ok = false; batch = 8 } ] in
+  Alcotest.(check bool) "failed proof flagged" false failed.Obs.Ledger.ok;
+  Alcotest.(check int) "counted" 1 failed.Obs.Ledger.proofs_failed;
+  Alcotest.(check bool) "violation names the proof" true
+    (List.exists (is_infix ~affix:"shuffle") failed.Obs.Ledger.violations);
+  let overspent =
+    Obs.Ledger.audit
+      [ Obs.Ledger.Grant { system = "s"; epsilon = 0.3; delta = 0.0 }; draw 0.2; draw 0.4 ]
+  in
+  Alcotest.(check bool) "overspend flagged" false overspent.Obs.Ledger.ok;
+  Alcotest.(check bool) "violation names the system" true
+    (List.exists (is_infix ~affix:"s") overspent.Obs.Ledger.violations);
+  let mismatch = Obs.Ledger.audit [ draw 0.2; draw 0.3 ] in
+  Alcotest.(check bool) "cum mismatch flagged" false mismatch.Obs.Ledger.ok
+
+(* End to end: a tampered CP's failed shuffle proof lands in the ledger
+   and `audit` rejects the run. *)
+let test_tampered_psc_fails_audit () =
+  with_obs (fun () ->
+      let cfg =
+        Psc.Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8
+          ~proof_rounds:(Some 4) ~verify:true
+          ~tamper:{ Psc.Protocol.tampered_cp = 1; action = `Shuffle_swap }
+          ()
+      in
+      let proto = Psc.Protocol.create cfg ~num_dcs:2 ~seed:5 in
+      for i = 0 to 19 do
+        Psc.Protocol.insert proto ~dc:(i land 1) (string_of_int i)
+      done;
+      let r = Psc.Protocol.run proto in
+      Alcotest.(check bool) "proofs failed in-protocol" false r.Psc.Protocol.proofs_ok;
+      let a = Obs.Ledger.audit (Obs.Ledger.events ()) in
+      Alcotest.(check bool) "audit rejects the ledger" false a.Obs.Ledger.ok;
+      Alcotest.(check bool) "failed proofs counted" true (a.Obs.Ledger.proofs_failed > 0))
+
+(* The tentpole invariant: a full verified PSC round writes the same
+   canonical ledger at any pool size — worker-side events are buffered
+   per chunk and replayed in task order. *)
+let prop_ledger_jobs_invariant =
+  QCheck.Test.make ~name:"ledger identical at jobs=1 and jobs=4" ~count:4
+    QCheck.(pair (int_range 1 40) (int_range 0 80))
+    (fun (seed, n) ->
+      let ledger_at jobs =
+        let before = Parallel.jobs () in
+        Parallel.set_jobs jobs;
+        Fun.protect
+          ~finally:(fun () ->
+            Parallel.set_jobs before;
+            Obs.reset ())
+          (fun () ->
+            Obs.reset ();
+            Obs.with_enabled true (fun () ->
+                let cfg =
+                  Psc.Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8
+                    ~proof_rounds:(Some 4) ~verify:true ~dp:Dp.Mechanism.paper_params ()
+                in
+                let proto = Psc.Protocol.create cfg ~num_dcs:2 ~seed in
+                for i = 0 to n - 1 do
+                  Psc.Protocol.insert proto ~dc:(i mod 2) (Printf.sprintf "i%d" i)
+                done;
+                ignore (Psc.Protocol.run proto);
+                Obs.Ledger.to_jsonl ~timings:false (Obs.Ledger.events ())))
+      in
+      let a = ledger_at 1 and b = ledger_at 4 in
+      a <> "" && String.equal a b)
 
 (* --- disabled mode --- *)
 
@@ -178,7 +401,12 @@ let test_disabled_leaves_no_residue () =
   Obs.Metrics.observe "h" 1.0;
   let v = Obs.Trace.with_span "s" (fun () -> 41 + 1) in
   Obs.Trace.add_attr "k" "v";
+  Obs.Ledger.note ~key:"k" ~value:"v";
+  Obs.Ledger.draw ~system:"s" ~counter:"c" ~mechanism:"m" ~epsilon:1.0 ~delta:0.0;
+  let p = Obs.Ledger.phase "p" (fun () -> 6 * 7) in
   Alcotest.(check int) "with_span is transparent" 42 v;
+  Alcotest.(check int) "phase is transparent" 42 p;
+  Alcotest.(check int) "empty ledger" 0 (Obs.Ledger.size ());
   Alcotest.(check int) "empty registry" 0 (Obs.Metrics.size ());
   Alcotest.(check (list unit)) "no samples" []
     (List.map (fun _ -> ()) (Obs.Metrics.snapshot ()));
@@ -200,7 +428,8 @@ let test_instrumented_paths_silent_when_disabled () =
   done;
   ignore (Psc.Protocol.run proto);
   Alcotest.(check int) "no metrics" 0 (Obs.Metrics.size ());
-  Alcotest.(check int) "no spans" 0 (Obs.Trace.count ())
+  Alcotest.(check int) "no spans" 0 (Obs.Trace.count ());
+  Alcotest.(check int) "no ledger events" 0 (Obs.Ledger.size ())
 
 let () =
   Alcotest.run "obs"
@@ -211,18 +440,32 @@ let () =
           Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
           Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
           Alcotest.test_case "quantile estimates" `Quick test_quantiles_known_distribution;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edge_cases;
         ] );
       ( "trace",
         [
           Alcotest.test_case "nesting and attrs" `Quick test_span_nesting_and_attrs;
           Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+          Alcotest.test_case "exception restores nesting" `Quick
+            test_span_exception_restores_nesting;
           Alcotest.test_case "capacity cap" `Quick test_span_capacity;
         ] );
       ( "export",
         [
           Alcotest.test_case "prometheus" `Quick test_prometheus_deterministic_and_parseable;
           Alcotest.test_case "trace jsonl" `Quick test_trace_jsonl_parseable;
+          Alcotest.test_case "snapshot json" `Quick test_snapshot_json_parses_back;
           Alcotest.test_case "summary" `Quick test_summary_nonempty;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "draw accumulates" `Quick test_ledger_draw_accumulates;
+          Alcotest.test_case "phase events" `Quick test_ledger_phase_event;
+          Alcotest.test_case "jsonl round-trip" `Quick test_ledger_jsonl_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ledger_roundtrip;
+          Alcotest.test_case "audit violations" `Quick test_audit_flags_violations;
+          Alcotest.test_case "tampered run fails audit" `Quick test_tampered_psc_fails_audit;
+          QCheck_alcotest.to_alcotest prop_ledger_jobs_invariant;
         ] );
       ( "disabled",
         [
