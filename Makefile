@@ -1,4 +1,4 @@
-.PHONY: all build test lint check audit trace-diff bench bench-quick bench-diff clean
+.PHONY: all build test lint lint-sarif check audit trace-diff bench bench-quick bench-diff clean
 
 all: build
 
@@ -9,7 +9,12 @@ test:
 	dune runtest
 
 lint:
-	dune exec bin/torlint.exe
+	dune exec bin/torlint.exe -- --strict-allows
+
+# machine-readable findings for code-scanning upload
+lint-sarif:
+	dune exec bin/torlint.exe -- --strict-allows --format sarif > torlint.sarif || true
+	@test -s torlint.sarif && echo "wrote torlint.sarif"
 
 # what CI runs
 check: build test lint

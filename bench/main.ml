@@ -298,13 +298,26 @@ let kernel_gaussian =
         (Dp.Mechanism.gaussian_mechanism fixture_rng Dp.Mechanism.paper_params ~sensitivity:20.0
            1_000.0) )
 
+(* Static analysis over the repo's own sources: parse every lib/ and
+   bin/ file, run the per-file rules, build the cross-module call
+   graph and run the interprocedural passes. Tracks the cost of the
+   `make lint` CI gate. Only meaningful from the repo root (where
+   torlint.config lives); elsewhere it is a no-op. *)
+let kernel_lint =
+  ( "tooling/torlint-interprocedural",
+    fun () ->
+      if Sys.file_exists "torlint.config" then
+        match Lint.Config.load "torlint.config" with
+        | Error _ -> ()
+        | Ok cfg -> ignore (Lint.Engine.lint_paths cfg [ "lib"; "bin" ]) )
+
 let all_kernels =
   [
     kernel_table1; kernel_fig1; kernel_fig2; kernel_fig3; kernel_table2; kernel_table3;
     kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
     kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle; kernel_gaussian;
     kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds; kernel_psc_16k;
-    kernel_netday; kernel_ingest;
+    kernel_netday; kernel_ingest; kernel_lint;
   ]
 
 (* One post-timing run with telemetry on: what did this kernel touch?

@@ -7,6 +7,8 @@ type t = {
   launder : string list;
   crypto_modules : string list;
   escapes : string list;
+  worker_safe : string list;
+  det_exempt : string list;
 }
 
 let default =
@@ -36,6 +38,13 @@ let default =
         "Shuffle"; "Secret_sharing"; "Hmac"; "Sha256"; "Drbg";
       ];
     escapes = [ "_to_int"; "_to_string"; "_of_int"; "length" ];
+    (* lib/parallel IS the synchronization layer and lib/obs provides
+       the Obs.Task domain-local scopes that make worker-side telemetry
+       legal; both are exempt from the domain-safety worker rules. *)
+    worker_safe = [ "lib/obs"; "lib/parallel" ];
+    (* lib/obs wall-clock reads are by design (span timings are zeroed
+       in canonical ledgers); scoped code may reach it freely. *)
+    det_exempt = [ "lib/obs" ];
   }
 
 (* --- string helpers (kept local: the lint library has no deps) --- *)
@@ -98,10 +107,14 @@ let parse_line t ~source ~lineno line =
   | [ "crypto-module"; name ] ->
     Ok { t with crypto_modules = t.crypto_modules @ [ name ] }
   | [ "escape"; suffix ] -> Ok { t with escapes = t.escapes @ [ suffix ] }
+  | [ "worker-safe"; path ] ->
+    Ok { t with worker_safe = t.worker_safe @ [ path ] }
+  | [ "det-exempt"; path ] ->
+    Ok { t with det_exempt = t.det_exempt @ [ path ] }
   | directive :: _
     when List.mem directive
            [ "disable"; "allow"; "scope"; "sensitive"; "sink"; "launder";
-             "crypto-module"; "escape" ] ->
+             "crypto-module"; "escape"; "worker-safe"; "det-exempt" ] ->
     err "directive %S: wrong number of arguments" directive
   | directive :: _ -> err "unknown directive %S" directive
 

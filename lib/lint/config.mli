@@ -18,6 +18,12 @@
     crypto-module NAME        # polycompare: an abstract-type module
     escape SUFFIX             # polycompare: function-name suffix that
                               # exempts an operand (e.g. _to_int)
+    worker-safe PATH          # domain-safety: paths whose code is the
+                              # synchronization layer itself (pool,
+                              # Obs.Task scopes) and is exempt
+    det-exempt PATH           # determinism v2: paths scoped code may
+                              # transitively reach despite banned
+                              # primitives inside them (lib/obs)
     v}
 
     Every directive extends the built-in defaults; nothing is replaced,
@@ -33,6 +39,8 @@ type t = {
   launder : string list;
   crypto_modules : string list;
   escapes : string list;
+  worker_safe : string list;  (* domain-safety: exempt paths *)
+  det_exempt : string list;  (* determinism v2: reachable-but-fine paths *)
 }
 
 val default : t

@@ -1,21 +1,38 @@
-(** The torlint engine: parse one source file with the compiler's own
-    parser, run every enabled rule over it, and filter the findings
-    through in-source allow comments and the config allowlist. *)
+(** The torlint engine: parse every source with the compiler's own
+    parser, run the per-file rules on each file, build the
+    whole-program {!Callgraph} and run the global rules over it, then
+    filter the findings through in-source allow comments and the config
+    allowlist. Allow comments that waived nothing are reported as
+    [suppress/stale-allow] — warnings by default, errors with
+    [~strict_allows:true]. *)
 
-val lint_source : Config.t -> path:string -> string -> Diagnostic.t list
-(** Lint source text as if it lived at [path] (scoping and sink/launder
-    decisions are path-based). A file that does not parse yields a
-    single [parse/error] diagnostic rather than raising. Results are
-    sorted by position. *)
+val parse :
+  path:string -> string -> (Parsetree.structure, Location.t * string) result
+(** Parse one source with the compiler's parser; positions carry
+    [path]. Exposed so the call-graph tests can build ASTs directly. *)
 
-val lint_file : Config.t -> string -> Diagnostic.t list
-(** Read and lint one file. An unreadable file yields a [parse/unreadable]
-    diagnostic. *)
+val lint_sources :
+  ?strict_allows:bool -> Config.t -> (string * string) list -> Diagnostic.t list
+(** Lint a set of [(path, source)] pairs as one program: per-file rules
+    see each file, global rules see the call graph of all of them.
+    Paths drive scoping and sink/launder decisions. A file that does
+    not parse yields a single [parse/error] diagnostic and is excluded
+    from the graph. Results are sorted by position. *)
+
+val lint_source :
+  ?strict_allows:bool -> Config.t -> path:string -> string -> Diagnostic.t list
+(** [lint_sources] with a single file. *)
+
+val lint_file : ?strict_allows:bool -> Config.t -> string -> Diagnostic.t list
+(** Read and lint one file. An unreadable file yields a
+    [parse/unreadable] diagnostic. *)
 
 val walk : string -> string list
 (** [walk root] is every [.ml] file under [root/lib] and [root/bin]
     (or [root] itself when it is a single directory of sources), in
     sorted order, skipping [_build] and dot-directories. *)
 
-val lint_paths : Config.t -> string list -> Diagnostic.t list
-(** Lint files and/or directories (directories are walked). *)
+val lint_paths :
+  ?strict_allows:bool -> Config.t -> string list -> Diagnostic.t list
+(** Lint files and/or directories (directories are walked) as one
+    program. *)

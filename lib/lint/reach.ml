@@ -1,0 +1,55 @@
+(* Worklist reachability over the call graph.
+
+   One engine serves both directions: the taint rules run it over the
+   reverse adjacency (callers of tainted defs become tainted), the
+   domain-safety rule over the forward one (callees of worker closures
+   become worker-reachable). Each reached node remembers the payload of
+   the seed that reached it and its successor toward that seed, so a
+   shortest witness chain can be printed in diagnostics.
+
+   Determinism: the frontier is seeded in sorted order and neighbors
+   are visited in adjacency-list order, so payloads and chains are
+   reproducible run to run. *)
+
+type hit = { payload : string; next : string option }
+
+type result = (string, hit) Hashtbl.t
+
+let run ~adj ~seeds ~blocked =
+  let reached : result = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.sort compare seeds
+  |> List.iter (fun (node, payload) ->
+         if (not (blocked node)) && not (Hashtbl.mem reached node) then begin
+           Hashtbl.replace reached node { payload; next = None };
+           Queue.add node q
+         end);
+  while not (Queue.is_empty q) do
+    let n = Queue.take q in
+    let { payload; _ } = Hashtbl.find reached n in
+    List.iter
+      (fun (m, _loc) ->
+        if (not (blocked m)) && not (Hashtbl.mem reached m) then begin
+          Hashtbl.replace reached m { payload; next = Some n };
+          Queue.add m q
+        end)
+      (adj n)
+  done;
+  reached
+
+let find = Hashtbl.find_opt
+
+let mem = Hashtbl.mem
+
+(* The witness chain from [node] to the seed that reached it,
+   inclusive: [node; ...; seed]. BFS parents make it shortest. *)
+let chain result node =
+  let rec go node acc fuel =
+    if fuel = 0 then List.rev acc
+    else
+      match Hashtbl.find_opt result node with
+      | None -> List.rev acc
+      | Some { next = None; _ } -> List.rev (node :: acc)
+      | Some { next = Some n; _ } -> go n (node :: acc) (fuel - 1)
+  in
+  go node [] 1000

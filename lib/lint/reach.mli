@@ -1,0 +1,25 @@
+(** Worklist reachability with witness chains, shared by the
+    transitive rules: backward over {!Callgraph.callers} for taint,
+    forward over [def.uses] for worker-reachability. Deterministic for
+    a fixed graph. *)
+
+type hit = {
+  payload : string;  (** payload of the seed that reached this node *)
+  next : string option;  (** successor toward that seed; [None] at seeds *)
+}
+
+type result = (string, hit) Hashtbl.t
+
+val run :
+  adj:(string -> (string * Location.t) list) ->
+  seeds:(string * string) list ->
+  blocked:(string -> bool) ->
+  result
+(** BFS from [seeds] (node, payload pairs) along [adj], never entering
+    [blocked] nodes (blocked seeds are dropped too). *)
+
+val find : result -> string -> hit option
+val mem : result -> string -> bool
+
+val chain : result -> string -> string list
+(** Shortest witness chain [node; ...; seed], empty if unreached. *)

@@ -43,3 +43,85 @@ let rule : Rule.t =
         && not (Config.in_paths path config.Config.launder));
     check;
   }
+
+(* v2, interprocedural: a one-line wrapper outside the sink ([let grab
+   () = Dc.report dc] in some helper module) launders raw data past the
+   syntactic check above. Here every definition that transitively
+   reaches a sensitive accessor is tainted — through any number of
+   helpers, value bindings, or stored closures — and a sink-side
+   reference to a tainted definition is flagged with the witness chain.
+   [launder] paths block propagation: lib/dp remains the one legitimate
+   route from raw aggregates to an output.
+
+   Direct sensitive references inside sink files stay the per-file
+   rule's business (they are syntactically visible there), so this pass
+   only reports sink uses of tainted defs that live *outside* the sink:
+   that is exactly the laundering pattern the per-file rule misses. *)
+
+let global : Global.t =
+  {
+    Global.id = "privflow";
+    doc =
+      "taints defs transitively reaching raw pre-noise accessors and flags \
+       sink-side calls to them, with the call chain";
+    check =
+      (fun ctx ->
+        let config = ctx.Global.config in
+        let g = ctx.Global.graph in
+        let sens name = matches_sensitive ~sensitive:config.Config.sensitive name in
+        let in_launder path = Config.in_paths path config.Config.launder in
+        let in_sink path = Config.in_paths path config.Config.sinks in
+        let blocked id =
+          match Callgraph.find g id with
+          | Some d -> in_launder d.Callgraph.def_path
+          | None -> false
+        in
+        let seeds =
+          List.concat_map
+            (fun (d : Callgraph.def) ->
+              if sens d.id then [ (d.id, d.id) ]
+              else
+                match
+                  List.find_opt
+                    (fun (e : Callgraph.extern) -> sens e.extern_name)
+                    d.externs
+                with
+                | Some e -> [ (d.id, e.extern_name) ]
+                | None -> [])
+            (Callgraph.defs_in_order g)
+        in
+        let rev = Callgraph.callers g in
+        let adj n = Option.value ~default:[] (Hashtbl.find_opt rev n) in
+        let taint = Reach.run ~adj ~seeds ~blocked in
+        List.iter
+          (fun (d : Callgraph.def) ->
+            if in_sink d.def_path && not (in_launder d.def_path) then
+              List.iter
+                (fun (u : Callgraph.use) ->
+                  match Callgraph.find g u.target with
+                  | Some t
+                    when Reach.mem taint u.target
+                         && (not (sens u.target))
+                         && not (in_sink t.def_path) ->
+                    let hit = Option.get (Reach.find taint u.target) in
+                    let chain = Reach.chain taint u.target in
+                    let chain =
+                      match List.rev chain with
+                      | last :: _ when last <> hit.Reach.payload ->
+                        chain @ [ hit.Reach.payload ]
+                      | _ -> chain
+                    in
+                    Global.emit ctx ~path:d.def_path
+                      ~rule_id:"privflow/transitive-leak"
+                      ~severity:Diagnostic.Error
+                      ~message:
+                        (Printf.sprintf
+                           "%s transitively reaches the raw pre-noise accessor \
+                            %s (%s); raw aggregates may only reach a sink \
+                            through lib/dp"
+                           u.target hit.Reach.payload (Global.pp_chain chain))
+                      u.use_loc
+                  | _ -> ())
+                d.uses)
+          (Callgraph.defs_in_order g))
+  }

@@ -1,6 +1,8 @@
-(* The rule registry. Adding a rule family = adding a module exposing a
-   [Rule.t] and listing it here; the engine, executable, suppression
-   comments, and config directives all pick it up from this list. *)
+(* The rule registry. Adding a per-file rule family = adding a module
+   exposing a [Rule.t] and listing it in [all]; whole-program passes
+   expose a [Global.t] and go in [globals]. The engine, executable,
+   suppression comments, and config directives all pick them up from
+   these lists. *)
 
 let all : Rule.t list =
   [
@@ -8,4 +10,11 @@ let all : Rule.t list =
     Rule_polycompare.rule;
     Rule_privflow.rule;
     Rule_hygiene.rule;
+  ]
+
+let globals : Global.t list =
+  [
+    Rule_determinism.global;
+    Rule_domainsafety.global;
+    Rule_privflow.global;
   ]

@@ -1,7 +1,17 @@
-type t = (int * string list) list
-(* (line, rules) — [rules = []] means "allow everything here". *)
+type entry = {
+  line : int;
+  rules : string list;  (* [] means "allow everything here" *)
+  mutable used : bool;
+}
 
-let marker = "torlint: allow"
+type t = entry list
+
+(* The marker must be anchored to a comment opener so that prose or
+   string literals that merely mention the phrase (documentation, rule
+   messages) are not mistaken for suppressions. Assembled from two
+   pieces so this very line cannot match itself when torlint lints its
+   own sources. *)
+let marker = "(*" ^ " torlint: allow"
 
 (* Rule tokens are [a-zA-Z0-9_/-]+; the first token that doesn't fit
    (an em-dash, "--", free prose...) ends the rule list and starts the
@@ -24,7 +34,8 @@ let rules_of_line line =
   match index_of_sub line marker with
   | None -> None
   | Some i ->
-    let rest = String.sub line (i + String.length marker) (String.length line - i - String.length marker) in
+    let i = i + String.length marker in
+    let rest = String.sub line i (String.length line - i) in
     (* cut at the comment terminator if it is on the same line *)
     let rest =
       match index_of_sub rest "*)" with
@@ -46,13 +57,23 @@ let scan source =
   String.split_on_char '\n' source
   |> List.mapi (fun i line -> (i + 1, rules_of_line line))
   |> List.filter_map (fun (lineno, rules) ->
-         match rules with None -> None | Some rs -> Some (lineno, rs))
+         match rules with
+         | None -> None
+         | Some rs -> Some { line = lineno; rules = rs; used = false })
 
 let allows t ~line ~rule_id ~family =
-  List.exists
-    (fun (l, rules) ->
-      line >= l
-      && line <= l + 2
-      && (rules = []
-         || List.exists (fun r -> Config.rule_matches r ~rule_id ~family) rules))
-    t
+  (* Check every entry (no early exit) so that overlapping allows are
+     all credited as used when they match. *)
+  List.fold_left
+    (fun acc e ->
+      let hit =
+        line >= e.line
+        && line <= e.line + 2
+        && (e.rules = []
+           || List.exists (fun r -> Config.rule_matches r ~rule_id ~family) e.rules)
+      in
+      if hit then e.used <- true;
+      acc || hit)
+    false t
+
+let stale t = List.filter (fun e -> not e.used) t

@@ -112,25 +112,35 @@ let merge_into ~dst src =
   dst.rend_closed <- dst.rend_closed + src.rend_closed;
   dst.rend_expired <- dst.rend_expired + src.rend_expired;
   dst.rend_cells <- dst.rend_cells + src.rend_cells;
-  Hashtbl.iter (fun k () -> mark dst.unique_client_ips k) src.unique_client_ips;
-  Hashtbl.iter (fun k () -> mark dst.unique_countries k) src.unique_countries;
-  Hashtbl.iter (fun k () -> mark dst.unique_asns k) src.unique_asns;
-  Hashtbl.iter (fun k () -> mark dst.unique_domains k) src.unique_domains;
-  Hashtbl.iter (fun k () -> mark dst.unique_published_onions k) src.unique_published_onions;
-  Hashtbl.iter (fun k () -> mark dst.unique_fetched_onions k) src.unique_fetched_onions;
-  Hashtbl.iter
-    (fun k r ->
-      match Hashtbl.find_opt dst.per_country_connections k with
-      | Some acc -> acc := !acc + !r
-      | None -> Hashtbl.replace dst.per_country_connections k (ref !r))
-    src.per_country_connections;
-  Hashtbl.iter (fun k r -> bump_float dst.per_country_bytes k !r) src.per_country_bytes;
-  Hashtbl.iter
-    (fun k r ->
-      match Hashtbl.find_opt dst.per_country_circuits k with
-      | Some acc -> acc := !acc + !r
-      | None -> Hashtbl.replace dst.per_country_circuits k (ref !r))
-    src.per_country_circuits
+  (* table merges: iteration order cannot affect the result — set
+     membership is idempotent and the per-key bumps are additive *)
+  let union dst_tbl src_tbl =
+    (* torlint: allow determinism/hashtbl-order — set union commutes *)
+    Hashtbl.iter (fun k () -> mark dst_tbl k) src_tbl
+  in
+  let merge_counts dst_tbl src_tbl =
+    (* torlint: allow determinism/hashtbl-order — per-key addition commutes *)
+    Hashtbl.iter
+      (fun k r ->
+        match Hashtbl.find_opt dst_tbl k with
+        | Some acc -> acc := !acc + !r
+        | None -> Hashtbl.replace dst_tbl k (ref !r))
+      src_tbl
+  in
+  let merge_floats dst_tbl src_tbl =
+    (* torlint: allow determinism/hashtbl-order — disjoint-key float sums
+       per key; cross-key order never mixes into one accumulator *)
+    Hashtbl.iter (fun k r -> bump_float dst_tbl k !r) src_tbl
+  in
+  union dst.unique_client_ips src.unique_client_ips;
+  union dst.unique_countries src.unique_countries;
+  union dst.unique_asns src.unique_asns;
+  union dst.unique_domains src.unique_domains;
+  union dst.unique_published_onions src.unique_published_onions;
+  union dst.unique_fetched_onions src.unique_fetched_onions;
+  merge_counts dst.per_country_connections src.per_country_connections;
+  merge_floats dst.per_country_bytes src.per_country_bytes;
+  merge_counts dst.per_country_circuits src.per_country_circuits
 
 let unique_clients t = Hashtbl.length t.unique_client_ips
 let unique_countries t = Hashtbl.length t.unique_countries

@@ -54,10 +54,11 @@ let family_anchor = function
   | _ -> []
 
 (* Deterministically place non-anchor siblings at pseudorandom ranks in
-   (10, list_size], avoiding collisions. *)
-let overrides : (int, string) Hashtbl.t Lazy.t =
-  lazy
-    (let tbl = Hashtbl.create 1024 in
+   (10, list_size], avoiding collisions. Built eagerly at module load:
+   [name_of_rank] is reachable from pool workers (netday sharding), and
+   forcing a lazy from two domains races the initializer. *)
+let overrides : (int, string) Hashtbl.t =
+  (let tbl = Hashtbl.create 1024 in
      List.iter (fun (rank, name) -> Hashtbl.replace tbl rank name) specials;
      let sm = Prng.Splitmix64.create 0x5EEDL in
      let fresh_rank () =
@@ -75,13 +76,14 @@ let overrides : (int, string) Hashtbl.t Lazy.t =
            Hashtbl.replace tbl (fresh_rank ()) (sibling_name base k)
          done)
        family_sizes;
-     tbl)
+   tbl)
 
-let override_ranks : (string, int) Hashtbl.t Lazy.t =
-  lazy
-    (let tbl = Hashtbl.create 1024 in
-     Hashtbl.iter (fun rank name -> Hashtbl.replace tbl name rank) (Lazy.force overrides);
-     tbl)
+let override_ranks : (string, int) Hashtbl.t =
+  (let tbl = Hashtbl.create 1024 in
+   (* torlint: allow determinism/hashtbl-order — reverse-map build over
+      distinct keys; insertion order cannot change the final table *)
+   Hashtbl.iter (fun rank name -> Hashtbl.replace tbl name rank) overrides;
+   tbl)
 
 (* TLD mix of the synthetic list: about 70% of entries use one of the 14
    TLDs the paper measures, the rest spread over a long tail of other
@@ -117,12 +119,12 @@ let generic_name rank = Printf.sprintf "s%d.%s" rank (tld_of_rank rank)
 
 let name_of_rank rank =
   if rank < 1 || rank > list_size then invalid_arg "Domains.name_of_rank: rank out of range";
-  match Hashtbl.find_opt (Lazy.force overrides) rank with
+  match Hashtbl.find_opt overrides rank with
   | Some name -> name
   | None -> generic_name rank
 
 let rank_of_name name =
-  match Hashtbl.find_opt (Lazy.force override_ranks) name with
+  match Hashtbl.find_opt override_ranks name with
   | Some rank -> Some rank
   | None ->
     (* parse "s<rank>.<tld>" and verify *)

@@ -60,8 +60,10 @@ let universe : country array =
 
 let total_countries = Array.length universe
 
-let sampler = lazy (Prng.Alias.create (Array.map (fun c -> c.weight) universe))
+(* Eager, not lazy: [sample] runs on pool workers via Population.build,
+   and forcing a lazy from two domains races the initializer. *)
+let sampler = Prng.Alias.create (Array.map (fun c -> c.weight) universe)
 
-let sample rng = universe.(Prng.Alias.sample (Lazy.force sampler) rng)
+let sample rng = universe.(Prng.Alias.sample sampler rng)
 
 let find code = Array.to_list universe |> List.find_opt (fun c -> c.code = code)

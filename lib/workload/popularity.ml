@@ -39,14 +39,21 @@ let paper_config =
 
 type sample = { host : string; port : int; dest : Torsim.Event.dest }
 
-let family_tables = Hashtbl.create 16
+(* Sibling arrays are memoized per domain (Domain.DLS, same idiom as
+   Suffix.registered_domain): sampling runs on pool workers inside the
+   sharded network-day driver, and a shared table would race. The
+   members are a pure function of the base, so per-domain copies cannot
+   disagree. *)
+let family_key : (string, string array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let family_members base =
-  match Hashtbl.find_opt family_tables base with
+  let tables = Domain.DLS.get family_key in
+  match Hashtbl.find_opt tables base with
   | Some members -> members
   | None ->
     let members = Array.of_list (Domains.sibling_family base) in
-    Hashtbl.replace family_tables base members;
+    Hashtbl.replace tables base members;
     members
 
 let sample_host config rng =

@@ -191,6 +191,237 @@ let test_config_disable () =
   check_clean "family disabled"
     (lint ~config ~path:"lib/privcount/fixture.ml" "let r () = Random.int 10")
 
+(* --- call graph (torlint v2) --- *)
+
+let graph sources =
+  let parsed =
+    List.filter_map
+      (fun (path, src) ->
+        match Engine.parse ~path src with
+        | Ok ast -> Some (path, ast)
+        | Error (_, msg) -> Alcotest.fail (Printf.sprintf "%s: %s" path msg))
+      sources
+  in
+  Callgraph.build Config.default parsed
+
+let uses_of g id =
+  match Callgraph.find g id with
+  | None -> Alcotest.fail (Printf.sprintf "no def %s" id)
+  | Some d -> List.map (fun (u : Callgraph.use) -> u.Callgraph.target) d.Callgraph.uses
+
+let test_callgraph_aliases () =
+  let g =
+    graph
+      [
+        ("lib/core/helper.ml", "let go x = x + 1");
+        ("lib/core/user.ml", "module H = Helper\nlet call x = H.go x");
+      ]
+  in
+  Alcotest.(check (list string)) "alias resolves to the target unit"
+    [ "Helper.go" ] (uses_of g "User.call");
+  (* dune wrapper prefixes are dropped until a known def matches *)
+  let g2 =
+    graph
+      [
+        ("lib/privcount/dc.ml", "let report d = d");
+        ("lib/core/wrap.ml", "let show d = Privcount.Dc.report d");
+      ]
+  in
+  Alcotest.(check (list string)) "wrapped reference resolves"
+    [ "Dc.report" ] (uses_of g2 "Wrap.show")
+
+let test_callgraph_functors () =
+  let g =
+    graph
+      [
+        ( "lib/core/fct.ml",
+          "module type S = sig val base : int end\n\
+           module F (X : S) = struct let go () = X.base end\n\
+           module M = F (struct let base = 1 end)\n\
+           let use () = M.go ()" );
+      ]
+  in
+  (match Callgraph.find g "Fct.F.go" with
+  | None -> Alcotest.fail "functor body not collected"
+  | Some d -> Alcotest.(check bool) "marked in_functor" true d.Callgraph.in_functor);
+  Alcotest.(check (list string)) "application aliases to the functor body"
+    [ "Fct.F.go" ] (uses_of g "Fct.use")
+
+let test_callgraph_shadowing () =
+  let g =
+    graph
+      [
+        ( "lib/core/shade.ml",
+          "let target () = ()\nlet f target = target ()\nlet h () = target ()" );
+      ]
+  in
+  Alcotest.(check (list string)) "parameter shadows the top-level def" []
+    (uses_of g "Shade.f");
+  Alcotest.(check (list string)) "unshadowed reference is an edge"
+    [ "Shade.target" ] (uses_of g "Shade.h")
+
+let test_callgraph_mutual_recursion () =
+  let g =
+    graph
+      [
+        ( "lib/core/mutual.ml",
+          "let rec ping n = if n = 0 then 0 else pong (n - 1)\nand pong n = ping (n / 2)" );
+      ]
+  in
+  Alcotest.(check (list string)) "ping -> pong" [ "Mutual.pong" ] (uses_of g "Mutual.ping");
+  Alcotest.(check (list string)) "pong -> ping" [ "Mutual.ping" ] (uses_of g "Mutual.pong")
+
+let test_reach_chain () =
+  let adj = function
+    | "a" -> [ ("b", Location.none) ]
+    | "b" -> [ ("c", Location.none) ]
+    | _ -> []
+  in
+  let r = Reach.run ~adj ~seeds:[ ("a", "seed") ] ~blocked:(fun _ -> false) in
+  Alcotest.(check (list string)) "witness chain" [ "c"; "b"; "a" ] (Reach.chain r "c");
+  Alcotest.(check bool) "payload carried" true
+    (match Reach.find r "c" with Some h -> h.Reach.payload = "seed" | None -> false);
+  let r2 = Reach.run ~adj ~seeds:[ ("a", "seed") ] ~blocked:(fun n -> n = "b") in
+  Alcotest.(check bool) "blocked node stops propagation" false (Reach.mem r2 "c")
+
+(* --- interprocedural rules (torlint v2) --- *)
+
+(* A sink calling a wrapper that calls the raw accessor: the per-file
+   pass sees no accessor mention in the sink file, so linting it alone
+   is provably clean; the whole-program pass follows the chain. *)
+let test_privflow_transitive () =
+  let helper = ("lib/core/wrapper_fix.ml", "let grab d = Privcount.Dc.report d") in
+  let cli = ("bin/fix_cli.ml", "let show d = Core.Wrapper_fix.grab d") in
+  check_clean "per-file pass misses the laundered wrapper"
+    (lint ~path:(fst cli) (snd cli));
+  let diags = Engine.lint_sources Config.default [ helper; cli ] in
+  check_flags "whole-program pass follows the chain" ~rule:"privflow/transitive-leak" diags;
+  let msg =
+    match List.find_opt (fun d -> d.Diagnostic.rule_id = "privflow/transitive-leak") diags with
+    | Some d -> d.Diagnostic.message
+    | None -> ""
+  in
+  Alcotest.(check bool) ("chain names the wrapper: " ^ msg) true
+    (String.length msg > 0
+    && (let has s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has msg "Wrapper_fix.grab" && has msg "->"))
+
+let test_determinism_transitive () =
+  let helper = ("lib/torsim/helper_fix.ml", "let jitter () = Random.int 10") in
+  let user = ("lib/privcount/user_fix.ml", "let go () = Torsim.Helper_fix.jitter ()") in
+  check_clean "per-file pass misses the out-of-scope helper"
+    (lint ~path:(fst user) (snd user));
+  check_clean "helper alone is out of scope" (lint ~path:(fst helper) (snd helper));
+  check_flags "scoped code reaching the primitive transitively"
+    ~rule:"determinism/transitive"
+    (Engine.lint_sources Config.default [ helper; user ])
+
+let test_domainsafety () =
+  let racy =
+    "let table : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+     let bump i = Hashtbl.replace table i i\n\
+     let run n = Parallel.parallel_for 0 n (fun i -> bump i)"
+  in
+  check_flags "worker-reachable write to shared state" ~rule:"domainsafety/shared-write"
+    (lint ~path:"lib/core/state_fix.ml" racy);
+  let pure =
+    "let pure i = i + 1\nlet ok n = Parallel.parallel_for 0 n (fun i -> ignore (pure i))"
+  in
+  check_clean "pure worker" (lint ~path:"lib/core/pure_fix.ml" pure);
+  let lazy_force =
+    "let heavy = lazy (Hashtbl.create 16)\n\
+     let use () = Lazy.force heavy\n\
+     let run n = Parallel.parallel_for 0 n (fun i -> ignore (use ()); i)"
+  in
+  check_flags "lazy forced from a worker races the initializer"
+    ~rule:"domainsafety/lazy-init"
+    (lint ~path:"lib/core/lazy_fix.ml" lazy_force);
+  (* worker-safe paths opt out: lib/obs's own synchronization is the
+     mechanism under audit, not a violation *)
+  check_clean "worker-safe path" (lint ~path:"lib/obs/state_fix.ml" racy)
+
+(* --- stale allow detection --- *)
+
+let test_stale_allows () =
+  let stale = "(* torlint: allow hygiene — nothing here to waive *)\nlet ok = 1" in
+  (match lint ~path:"lib/core/stale_fix.ml" stale with
+  | [ d ] ->
+    Alcotest.(check string) "stale rule id" "suppress/stale-allow" d.Diagnostic.rule_id;
+    Alcotest.(check bool) "warning by default" true
+      (d.Diagnostic.severity = Diagnostic.Warning)
+  | diags -> Alcotest.fail (Printf.sprintf "expected one stale-allow, got %d" (List.length diags)));
+  (match Engine.lint_source ~strict_allows:true Config.default ~path:"lib/core/stale_fix.ml" stale with
+  | [ d ] ->
+    Alcotest.(check bool) "error under --strict-allows" true
+      (d.Diagnostic.severity = Diagnostic.Error)
+  | diags -> Alcotest.fail (Printf.sprintf "expected one strict stale-allow, got %d" (List.length diags)));
+  (* an allow that waives something is not stale *)
+  let used =
+    "let pairs h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] (* torlint: allow \
+     determinism/hashtbl-order — commutes *)"
+  in
+  check_clean "used allow" (lint ~path:"lib/privcount/used_fix.ml" used)
+
+(* --- machine-readable output --- *)
+
+let test_sarif_json_roundtrip () =
+  let diags = lint ~path:"lib/psc/fixture.ml" "let dump h = Hashtbl.iter print_endline h" in
+  let pairs = Sarif.with_fingerprints diags in
+  Alcotest.(check int) "one finding" 1 (List.length pairs);
+  (* fingerprints are stable and occurrence-disambiguated *)
+  let d = fst (List.hd pairs) in
+  Alcotest.(check string) "fingerprint deterministic"
+    (Sarif.fingerprint ~occurrence:0 d) (snd (List.hd pairs));
+  Alcotest.(check bool) "occurrence disambiguates" true
+    (Sarif.fingerprint ~occurrence:0 d <> Sarif.fingerprint ~occurrence:1 d);
+  (* JSON round-trips through the reader *)
+  (match Sarif.parse_json (Sarif.json pairs) with
+  | Error e -> Alcotest.fail ("json output does not parse: " ^ e)
+  | Ok v -> (
+    match Sarif.member "findings" v with
+    | Some (Sarif.Arr [ f ]) ->
+      Alcotest.(check bool) "rule field" true
+        (Sarif.member "rule" f = Some (Sarif.Str "determinism/hashtbl-order"))
+    | _ -> Alcotest.fail "findings array missing"));
+  (* SARIF round-trips and carries the rule id and fingerprint *)
+  (match Sarif.parse_json (Sarif.sarif ~rules:[ ("determinism", "doc") ] pairs) with
+  | Error e -> Alcotest.fail ("sarif output does not parse: " ^ e)
+  | Ok v -> (
+    let ( let* ) o f = match o with Some x -> f x | None -> Alcotest.fail "sarif shape" in
+    let* runs = Sarif.member "runs" v in
+    match runs with
+    | Sarif.Arr [ run ] -> (
+      let* results = Sarif.member "results" run in
+      match results with
+      | Sarif.Arr [ r ] ->
+        Alcotest.(check bool) "ruleId" true
+          (Sarif.member "ruleId" r = Some (Sarif.Str "determinism/hashtbl-order"));
+        let* fps = Sarif.member "partialFingerprints" r in
+        Alcotest.(check bool) "fingerprint key" true
+          (Sarif.member "torlint/v1" fps = Some (Sarif.Str (snd (List.hd pairs))))
+      | _ -> Alcotest.fail "expected one sarif result")
+    | _ -> Alcotest.fail "expected one sarif run"));
+  (* the baseline format reads back exactly the fingerprints *)
+  Alcotest.(check (list string)) "baseline round-trip" (List.map snd pairs)
+    (Sarif.baseline_of_string (Sarif.baseline_to_string pairs))
+
+let test_config_interprocedural_directives () =
+  let cfg =
+    match Config.of_string "worker-safe lib/custom\ndet-exempt lib/telemetry" with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "worker-safe appended" true
+    (List.mem "lib/custom" cfg.Config.worker_safe);
+  Alcotest.(check bool) "det-exempt appended" true
+    (List.mem "lib/telemetry" cfg.Config.det_exempt);
+  Alcotest.(check bool) "defaults kept" true
+    (List.mem "lib/obs" cfg.Config.worker_safe)
+
 (* --- engine plumbing --- *)
 
 let test_parse_error () =
@@ -248,6 +479,26 @@ let () =
           Alcotest.test_case "parsing" `Quick test_config_parsing;
           Alcotest.test_case "allowlist" `Quick test_config_allowlist_waives;
           Alcotest.test_case "disable" `Quick test_config_disable;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "aliases" `Quick test_callgraph_aliases;
+          Alcotest.test_case "functors" `Quick test_callgraph_functors;
+          Alcotest.test_case "shadowing" `Quick test_callgraph_shadowing;
+          Alcotest.test_case "mutual recursion" `Quick test_callgraph_mutual_recursion;
+          Alcotest.test_case "reach chains" `Quick test_reach_chain;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "privflow transitive" `Quick test_privflow_transitive;
+          Alcotest.test_case "determinism transitive" `Quick test_determinism_transitive;
+          Alcotest.test_case "domain safety" `Quick test_domainsafety;
+          Alcotest.test_case "stale allows" `Quick test_stale_allows;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "sarif json roundtrip" `Quick test_sarif_json_roundtrip;
+          Alcotest.test_case "config directives" `Quick test_config_interprocedural_directives;
         ] );
       ( "engine",
         [
