@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-sarif check audit trace-diff bench bench-quick bench-diff clean
+.PHONY: all build test lint lint-sarif check audit deploy-demo trace-diff bench bench-quick bench-diff clean
 
 all: build
 
@@ -24,6 +24,14 @@ check: build test lint
 audit:
 	dune exec bin/tormeasure_cli.exe -- run fig2 --ledger ledger.jsonl
 	dune exec bin/tormeasure_cli.exe -- audit ledger.jsonl
+
+# audited deployment demo: both pipelines as message-passing parties on
+# the bus, 2 benign epochs, published bytes checked against the
+# in-process reference, then the per-party ledger replayed through
+# `audit` (exits 2 on any failed proof or budget overspend)
+deploy-demo:
+	dune exec bin/tormeasure_cli.exe -- deploy --scenario benign --epochs 2 --ledger deploy-ledger.jsonl
+	dune exec bin/tormeasure_cli.exe -- audit deploy-ledger.jsonl
 
 # compare phase timings of two run ledgers, e.g.
 #   make trace-diff BASE=LEDGER_baseline.jsonl NEW=ledger.jsonl

@@ -303,6 +303,31 @@ let kernel_gaussian =
    graph and run the interprocedural passes. Tracks the cost of the
    `make lint` CI gate. Only meaningful from the repo root (where
    torlint.config lives); elsewhere it is a no-op. *)
+(* Raw bus throughput: a 4-party token ring where every delivery
+   decrements a ttl and forwards, so ~10k envelopes flow through the
+   seeded scheduler (inbox jitter, claim dispatch, order recording) in
+   one run. Tracks the per-message overhead the deployment runtime
+   adds on top of the pipeline handlers. *)
+let kernel_bus_deliver =
+  ( "bus/deliver-10k",
+    fun () ->
+      let s = Bus.Sched.create ~seed:17 () in
+      for i = 0 to 3 do
+        Bus.Sched.register s (Bus.Party.Dc i) (fun env ->
+            let ttl = int_of_string env.Bus.Envelope.body in
+            if ttl > 0 then
+              Bus.Sched.post s ~epoch:0 ~src:(Bus.Party.Dc i)
+                ~dst:(Bus.Party.Dc ((i + 1) mod 4))
+                ~kind:"tok"
+                ~body:(string_of_int (ttl - 1));
+            true)
+      done;
+      for i = 0 to 3 do
+        Bus.Sched.post s ~epoch:0 ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc i) ~kind:"tok"
+          ~body:"2499"
+      done;
+      ignore (Bus.Sched.run s) )
+
 let kernel_lint =
   ( "tooling/torlint-interprocedural",
     fun () ->
@@ -317,7 +342,7 @@ let all_kernels =
     kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
     kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle; kernel_gaussian;
     kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds; kernel_psc_16k;
-    kernel_netday; kernel_ingest; kernel_lint;
+    kernel_netday; kernel_ingest; kernel_bus_deliver; kernel_lint;
   ]
 
 (* One post-timing run with telemetry on: what did this kernel touch?

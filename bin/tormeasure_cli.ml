@@ -201,6 +201,119 @@ let run_all_cmd =
   Cmd.v (Cmd.info "run-all" ~doc:"Run every table and figure")
     Term.(const run $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ ledger_arg $ jobs_arg)
 
+(* Run both pipelines on the deterministic message bus under a
+   failure-injection scenario. Exit codes: 0 for a benign outcome, 2
+   when honest parties detected misbehaviour, 1 when a
+   reference-comparable scenario fails byte-identity (a determinism
+   regression, not a protocol outcome). *)
+let deploy_cmd =
+  let scenario_arg =
+    let doc =
+      "Failure-injection scenario: one of $(b,benign), $(b,dc-crash), $(b,churn), \
+       $(b,slow-cp), $(b,malicious-cp), $(b,restart)."
+    in
+    Arg.(value & opt string "benign" & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let epochs_arg =
+    let doc = "Number of measurement epochs." in
+    Arg.(value & opt int 2 & info [ "e"; "epochs" ] ~docv:"K" ~doc)
+  in
+  let checkpoint_arg =
+    let doc = "Write the last post-collection checkpoint to $(docv) (binary)." in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let run scenario seed epochs checkpoint metrics trace ledger jobs =
+    match Bus.Scenario.find scenario with
+    | None ->
+      Printf.eprintf "unknown scenario %S; known scenarios:\n" scenario;
+      List.iter
+        (fun (s : Bus.Scenario.t) -> Printf.eprintf "  %-12s %s\n" s.name s.summary)
+        Bus.Scenario.catalogue;
+      exit 1
+    | Some sc ->
+      if epochs < 1 then begin
+        Printf.eprintf "--epochs must be at least 1\n";
+        exit 1
+      end;
+      apply_jobs jobs;
+      obs_start ~metrics ~trace ~ledger;
+      let cfg = Tormeasure.Deploy.default_config ~seed ~epochs () in
+      (* torlint: allow privflow/transitive-leak — restore compares
+         checkpointed SK share sums: blinded residues, not raw counts *)
+      let o = Tormeasure.Deploy.run cfg sc in
+      Printf.printf "scenario %-12s seed %d, %d epoch(s), %d DCs / %d SKs / %d CPs\n"
+        sc.name seed epochs cfg.Tormeasure.Deploy.num_dcs cfg.Tormeasure.Deploy.num_sks
+        cfg.Tormeasure.Deploy.num_cps;
+      List.iter
+        (fun (p : Tormeasure.Deploy.publish) ->
+          Printf.printf "epoch %d:\n" p.epoch;
+          List.iter
+            (fun (r : Privcount.Ts.result) ->
+              Printf.printf "  privcount %-14s %10.1f  (sigma %7.1f)\n" r.name r.value
+                r.sigma)
+            p.pc;
+          let e = p.psc in
+          Printf.printf "  psc union estimate %8.1f  [%.1f, %.1f]  proofs %s\n"
+            e.Psc.Protocol.estimate e.Psc.Protocol.ci.Stats.Ci.lo
+            e.Psc.Protocol.ci.Stats.Ci.hi
+            (if e.Psc.Protocol.proofs_ok then "ok"
+             else
+               Printf.sprintf "FAILED (culprit CPs: %s)"
+                 (String.concat ", " (List.map string_of_int e.Psc.Protocol.culprits)));
+          if p.missing_dcs <> [] then
+            Printf.printf "  DCs excluded by dropout recovery: %s\n"
+              (String.concat ", " (List.map string_of_int p.missing_dcs)))
+        o.Tormeasure.Deploy.publishes;
+      List.iteri
+        (fun epoch (s : Bus.Sched.stats) ->
+          Printf.printf "epoch %d bus: %d messages delivered, %d dropped, %d bytes\n"
+            epoch s.delivered s.dropped s.bytes)
+        o.Tormeasure.Deploy.stats;
+      if o.Tormeasure.Deploy.restarts > 0 then
+        Printf.printf "restarts from checkpoint: %d\n" o.Tormeasure.Deploy.restarts;
+      Printf.printf "published digest: %s\n" o.Tormeasure.Deploy.digest;
+      let mismatch =
+        sc.reference_comparable
+        &&
+        (* torlint: allow privflow/transitive-leak — the reference is
+           the in-process tally; its reports stay blinded until noised *)
+        let reference = Tormeasure.Deploy.run_reference cfg sc in
+        if String.equal o.Tormeasure.Deploy.digest reference then begin
+          Printf.printf "published bytes match the in-process reference pipelines\n";
+          false
+        end
+        else begin
+          Printf.printf "MISMATCH: in-process reference digest is %s\n" reference;
+          true
+        end
+      in
+      (match checkpoint with
+      | None -> ()
+      | Some path ->
+        (match o.Tormeasure.Deploy.last_checkpoint with
+        | None -> ()
+        | Some cp ->
+          Bus.Checkpoint.save path cp;
+          Printf.printf "wrote checkpoint (epoch %d, %d parties) to %s\n"
+            cp.Bus.Checkpoint.epoch
+            (List.length cp.Bus.Checkpoint.entries)
+            path));
+      obs_finish ~metrics ~trace ~ledger;
+      if o.Tormeasure.Deploy.detected then begin
+        Printf.printf "misbehaviour detected; failing the run\n";
+        exit 2
+      end;
+      if mismatch then exit 1
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:
+         "Run the PrivCount and PSC pipelines as message-passing parties on the \
+          deterministic bus, under a failure-injection scenario. Exits 2 if honest \
+          parties detect misbehaviour.")
+    Term.(const run $ scenario_arg $ seed_arg $ epochs_arg $ checkpoint_arg $ metrics_arg
+          $ trace_arg $ ledger_arg $ jobs_arg)
+
 (* Replay a ledger written by --ledger: recompute cumulative budget
    spend, re-check every proof outcome, and fail loudly (exit 2) on any
    violation — the CI gate for unattended runs. *)
@@ -244,4 +357,5 @@ let () =
   let info = Cmd.info "tormeasure" ~doc:"Privacy-preserving Tor measurement reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd; audit_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd; deploy_cmd; audit_cmd ]))

@@ -1,0 +1,68 @@
+(** Binary wire codec for bus messages: unsigned LEB128 varints,
+    zigzag-encoded signed ints, length-prefixed byte strings and IEEE
+    floats as raw Int64 bits (exact round-trip, no decimal detour).
+
+    Decoding never raises across the API boundary: readers run inside
+    {!decode}, which converts truncation and malformed input into the
+    typed {!error} below. Writers cannot fail. *)
+
+type error =
+  | Truncated  (** input ended mid-field *)
+  | Bad_magic  (** leading magic bytes do not match *)
+  | Unsupported_version of int
+  | Trailing of int  (** well-formed value followed by N unconsumed bytes *)
+  | Invalid of string  (** structurally impossible field, message says which *)
+
+val error_to_string : error -> string
+
+(** {2 Writing} *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; the int must be non-negative. *)
+
+  val zint : t -> int -> unit
+  (** Zigzag-mapped signed varint. *)
+
+  val f64 : t -> float -> unit
+  val bytes : t -> string -> unit
+  (** Varint length prefix, then the raw bytes. *)
+
+  val magic : t -> string -> unit
+  (** Raw bytes, no length prefix (fixed-size header field). *)
+
+  val contents : t -> string
+end
+
+(** {2 Reading} *)
+
+module R : sig
+  type t
+
+  val u8 : t -> int
+  val varint : t -> int
+  val zint : t -> int
+  val f64 : t -> float
+  val bytes : t -> string
+  val magic : t -> string -> unit
+  (** Consume and compare a fixed header; mismatch fails the decode
+      with [Bad_magic]. *)
+
+  val fail : string -> 'a
+  (** Abort the surrounding {!decode} with [Invalid msg]. *)
+
+  val fail_version : int -> 'a
+  (** Abort with [Unsupported_version v]. *)
+
+  val remaining : t -> int
+end
+
+val decode : string -> (R.t -> 'a) -> ('a, error) result
+(** Run a reader over the whole input. Truncation, magic mismatch and
+    [R.fail] become typed errors; unconsumed bytes after a successful
+    read become [Trailing n]. Any other exception escapes (readers are
+    expected to signal malformed input only through [R.fail]). *)

@@ -1,0 +1,62 @@
+type phase = Setup | Collect | Aggregate | Publish
+
+let phase_to_string = function
+  | Setup -> "setup"
+  | Collect -> "collect"
+  | Aggregate -> "aggregate"
+  | Publish -> "publish"
+
+type 'pub hooks = {
+  setup : epoch:int -> unit;
+  collect : epoch:int -> unit;
+  aggregate : epoch:int -> unit;
+  publish : epoch:int -> 'pub;
+  checkpoint : epoch:int -> Checkpoint.t;
+  restore : Checkpoint.t -> unit;
+}
+
+type 'pub outcome = {
+  publishes : 'pub list;
+  restarts : int;
+  checkpoints : Checkpoint.t list;
+}
+
+let in_phase ~epoch p f =
+  Obs.Ledger.phase
+    ~attrs:[ ("epoch", string_of_int epoch) ]
+    ("deploy." ^ phase_to_string p)
+    f
+
+let run ?restart_at ~epochs hooks =
+  if epochs < 1 then invalid_arg "Lifecycle.run: epochs must be >= 1";
+  let publishes = ref [] and checkpoints = ref [] and restarts = ref 0 in
+  for epoch = 0 to epochs - 1 do
+    in_phase ~epoch Setup (fun () -> hooks.setup ~epoch);
+    in_phase ~epoch Collect (fun () -> hooks.collect ~epoch);
+    (* capture and immediately round-trip: a blob that cannot survive
+       the wire format must fail in every scenario, not only restart *)
+    let cp = hooks.checkpoint ~epoch in
+    let cp =
+      match Checkpoint.decode (Checkpoint.encode cp) with
+      | Ok cp' -> cp'
+      | Error e ->
+          invalid_arg
+            (Printf.sprintf
+               "Lifecycle.run: epoch %d checkpoint does not round-trip: %s"
+               epoch (Codec.error_to_string e))
+    in
+    checkpoints := cp :: !checkpoints;
+    if restart_at = Some epoch then begin
+      incr restarts;
+      Obs.Ledger.note ~key:"deploy.restart"
+        ~value:(Printf.sprintf "epoch=%d phase=%s" epoch cp.Checkpoint.phase);
+      in_phase ~epoch Setup (fun () -> hooks.restore cp)
+    end;
+    in_phase ~epoch Aggregate (fun () -> hooks.aggregate ~epoch);
+    publishes := in_phase ~epoch Publish (fun () -> hooks.publish ~epoch) :: !publishes
+  done;
+  {
+    publishes = List.rev !publishes;
+    restarts = !restarts;
+    checkpoints = List.rev !checkpoints;
+  }

@@ -1,0 +1,35 @@
+(** Epoch lifecycle driver: setup → collect → aggregate → publish, for
+    [epochs] rounds. Each phase of each epoch runs inside an
+    [Obs.Ledger.phase] span named [deploy.<phase>] with the epoch as an
+    attribute, so instrumented runs show per-party, per-phase structure.
+
+    A checkpoint is captured after every epoch's collection and
+    round-tripped through its binary encoding immediately — a state
+    blob that cannot survive serialization fails fast, not just in the
+    restart scenario. When [restart_at] names an epoch, the driver
+    additionally tears that epoch down after collection and rebuilds it
+    from the decoded checkpoint via [restore] before aggregating,
+    modelling an operator restart. *)
+
+type phase = Setup | Collect | Aggregate | Publish
+
+val phase_to_string : phase -> string
+
+type 'pub hooks = {
+  setup : epoch:int -> unit;  (** spawn parties, exchange keys *)
+  collect : epoch:int -> unit;  (** ingest the epoch's observations *)
+  aggregate : epoch:int -> unit;  (** cross-party aggregation rounds *)
+  publish : epoch:int -> 'pub;  (** final tallies for the epoch *)
+  checkpoint : epoch:int -> Checkpoint.t;
+  restore : Checkpoint.t -> unit;
+}
+
+type 'pub outcome = {
+  publishes : 'pub list;  (** one per epoch, in epoch order *)
+  restarts : int;
+  checkpoints : Checkpoint.t list;  (** post-collect, in epoch order *)
+}
+
+val run : ?restart_at:int -> epochs:int -> 'pub hooks -> 'pub outcome
+(** Raises [Invalid_argument] if [epochs < 1] or a captured checkpoint
+    fails to round-trip its own encoding. *)

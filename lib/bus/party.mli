@@ -1,0 +1,20 @@
+(** Protocol party addresses. One address space covers both pipelines:
+    the tally server doubles as PSC's aggregator, and [Dc i] is the same
+    machine whether it reports blinded PrivCount counters or PSC table
+    submissions. *)
+
+type t =
+  | Ts
+  | Dc of int
+  | Sk of int
+  | Cp of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+
+val index : t -> int
+(** The party's numeric id ([Ts] is 0). *)
+
+val write : Codec.W.t -> t -> unit
+val read : Codec.R.t -> t

@@ -88,3 +88,30 @@ let encrypt_bit_proven_with ?pk_tab ~pk { r; fake_e; fake_z; k } bit =
 let encrypt_bit_proven drbg ~pk bit =
   let rand = draw_rand drbg in
   encrypt_bit_proven_with ~pk rand bit
+
+(* Bus wire form: a flat int array so the serialization layer stays
+   ignorant of group internals while membership is still re-checked on
+   the way back in. *)
+
+let branch_ints b =
+  [| Group.elt_to_int b.a1; Group.elt_to_int b.a2;
+     Group.exp_to_int b.e; Group.exp_to_int b.z |]
+
+let to_ints { b0; b1 } = Array.append (branch_ints b0) (branch_ints b1)
+
+let of_ints a =
+  if Array.length a <> 8 then None
+  else
+    match
+      let branch off =
+        {
+          a1 = Group.elt_of_int a.(off);
+          a2 = Group.elt_of_int a.(off + 1);
+          e = Group.exp_of_int a.(off + 2);
+          z = Group.exp_of_int a.(off + 3);
+        }
+      in
+      { b0 = branch 0; b1 = branch 4 }
+    with
+    | t -> Some t
+    | exception Invalid_argument _ -> None

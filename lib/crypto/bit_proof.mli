@@ -38,3 +38,12 @@ val encrypt_bit_proven_with :
 (** Pure arithmetic of {!encrypt_bit_proven} given pre-drawn
     randomness: [encrypt_bit_proven drbg ~pk bit] is exactly
     [encrypt_bit_proven_with ~pk (draw_rand drbg) bit]. *)
+
+val to_ints : t -> int array
+(** Wire encoding for the message bus: both branches' (a1, a2, e, z),
+    eight ints total. *)
+
+val of_ints : int array -> t option
+(** Checked inverse of {!to_ints}: [None] unless the array has exactly
+    eight entries whose element positions are subgroup members. A proof
+    rebuilt this way verifies iff the original did. *)

@@ -135,3 +135,81 @@ let verify pk ~input ~output { rounds } =
     rounds
 
 let proof_rounds { rounds } = List.length rounds
+
+(* Bus wire form. Layout: [nrounds], then per round [n] (vector
+   length), 2n shadow ints (c1, c2 per slot), the opening tag (0 =
+   input link, 1 = output link), n permutation ints, n exponent ints.
+   Membership is re-checked on decode via [Group.elt_of_int]. *)
+
+let proof_to_ints { rounds } =
+  let buf = ref [] in
+  let push v = buf := v :: !buf in
+  push (List.length rounds);
+  List.iter
+    (fun { shadow; opening } ->
+      let n = Array.length shadow in
+      push n;
+      Array.iter
+        (fun ct ->
+          push (Group.elt_to_int ct.Elgamal.c1);
+          push (Group.elt_to_int ct.Elgamal.c2))
+        shadow;
+      let tag, perm, exps =
+        match opening with
+        | Input_link (p, e) -> (0, p, e)
+        | Output_link (p, e) -> (1, p, e)
+      in
+      push tag;
+      Array.iter push perm;
+      Array.iter (fun e -> push (Group.exp_to_int e)) exps)
+    rounds;
+  Array.of_list (List.rev !buf)
+
+let proof_of_ints a =
+  let pos = ref 0 in
+  let len = Array.length a in
+  let exception Bad in
+  let next () =
+    if !pos >= len then raise Bad;
+    let v = a.(!pos) in
+    incr pos;
+    v
+  in
+  (* explicit loops: the cursor is stateful, so reads must follow the
+     wire order exactly *)
+  let read_vec n f =
+    let v = ref [] in
+    for _ = 1 to n do
+      v := f (next ()) :: !v
+    done;
+    Array.of_list (List.rev !v)
+  in
+  match
+    let nrounds = next () in
+    if nrounds < 0 || nrounds > 4096 then raise Bad;
+    let rounds = ref [] in
+    for _ = 1 to nrounds do
+      let n = next () in
+      if n < 0 || n > 1 lsl 24 then raise Bad;
+      let shadow =
+        read_vec n (fun c1 ->
+            let c2 = next () in
+            { Elgamal.c1 = Group.elt_of_int c1; c2 = Group.elt_of_int c2 })
+      in
+      let tag = next () in
+      let perm = read_vec n Fun.id in
+      let exps = read_vec n Group.exp_of_int in
+      let opening =
+        match tag with
+        | 0 -> Input_link (perm, exps)
+        | 1 -> Output_link (perm, exps)
+        | _ -> raise Bad
+      in
+      rounds := { shadow; opening } :: !rounds
+    done;
+    if !pos <> len then raise Bad;
+    { rounds = List.rev !rounds }
+  with
+  | p -> Some p
+  | exception Bad -> None
+  | exception Invalid_argument _ -> None

@@ -30,3 +30,14 @@ val verify :
   output:Elgamal.ciphertext array -> proof -> bool
 
 val proof_rounds : proof -> int
+
+val proof_to_ints : proof -> int array
+(** Wire encoding for the message bus: round count, then per round the
+    shadow vector (c1, c2 pairs), the opening tag and the permutation
+    and exponent vectors, all as a flat int array. *)
+
+val proof_of_ints : int array -> proof option
+(** Checked inverse of {!proof_to_ints}: [None] on any structural
+    mismatch or non-member group element. A proof rebuilt this way
+    verifies iff the original did — including a forged one, so a
+    malicious party gains nothing from the serialization hop. *)

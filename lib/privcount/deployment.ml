@@ -25,6 +25,15 @@ let per_counter_params cfg =
 let total_sigma cfg spec =
   Dp.Mechanism.gaussian_sigma (per_counter_params cfg) ~sensitivity:spec.Counter.sensitivity
 
+(* The two derivations every party must agree on, exported so the bus
+   deployment (lib/privcount/node.ml) cannot drift from the in-process
+   path: the pairwise blinding stream for a (dc, sk) pair and the
+   round's shared noise RNG. *)
+let share_drbg ~seed ~dc ~sk =
+  Crypto.Drbg.create (Printf.sprintf "privcount-blind|seed=%d|dc=%d|sk=%d" seed dc sk)
+
+let noise_rng ~seed = Prng.Rng.create (seed * 7919)
+
 let create ?noise_weights cfg ~num_dcs ~seed =
   if num_dcs < 1 then invalid_arg "Deployment.create: need at least one DC";
   let jobs = Parallel.jobs () in
@@ -65,10 +74,8 @@ let create ?noise_weights cfg ~num_dcs ~seed =
   (* Pairwise blinding: DC d and SK k derive identical per-counter
      shares from a shared seed (standing in for PrivCount's encrypted
      share exchange over TLS). *)
-  let share_drbg ~dc ~sk =
-    Crypto.Drbg.create (Printf.sprintf "privcount-blind|seed=%d|dc=%d|sk=%d" seed dc sk)
-  in
-  let noise_rng = Prng.Rng.create (seed * 7919) in
+  let share_drbg ~dc ~sk = share_drbg ~seed ~dc ~sk in
+  let noise_rng = noise_rng ~seed in
   (* Noise is split across DCs so the per-DC variances sum to the total:
      by default equally; with [noise_weights], proportionally to each
      relay's observation weight (PrivCount's allocation — a relay that

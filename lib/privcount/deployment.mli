@@ -18,6 +18,25 @@ val config :
 
 type t
 
+val total_sigma : config -> Counter.spec -> float
+(** Total noise stddev a counter will carry under [config] (before the
+    per-DC variance split). *)
+
+val per_counter_params : config -> Dp.Mechanism.params
+(** The (ε, δ) each counter actually spends: the round budget divided
+    across counters when [split_budget], the full budget otherwise. *)
+
+val share_drbg : seed:int -> dc:int -> sk:int -> Crypto.Drbg.t
+(** The pairwise blinding stream DC [dc] and SK [sk] both derive for a
+    round (stands in for PrivCount's encrypted share exchange). Exported
+    so the message-bus deployment derives the exact same shares as the
+    in-process path. *)
+
+val noise_rng : seed:int -> Prng.Rng.t
+(** The round's shared noise RNG, consumed dc-major in counter-id order
+    by {!create}. A bus-hosted DC replays the earlier DCs' draws to
+    reach its own position in the stream. *)
+
 val create : ?noise_weights:float array -> config -> num_dcs:int -> seed:int -> t
 (** [noise_weights] splits the noise variance across DCs proportionally
     to each relay's observation weight (PrivCount's allocation); equal

@@ -1,0 +1,31 @@
+(** PrivCount's bus messages: everything a TS, DC or SK sends when the
+    round runs on the message bus instead of in-process calls. Bodies
+    are binary (Bus.Codec); decoding returns typed errors only. *)
+
+type msg =
+  | Blind_shares of { sk : int; counters : int array }
+      (** a DC's blinding-share row toward share keeper [sk], one value
+          per interned counter id (the wire form of the share exchange) *)
+  | Report_request  (** TS asks a DC to close and report *)
+  | Dc_report of (string * int) list  (** blinded residues, name order *)
+  | Sk_report_request of { exclude_dcs : int list }
+      (** TS closes the round at an SK, naming crashed DCs to exclude *)
+  | Sk_report of (string * int) list
+
+val kind : msg -> string
+(** Envelope kind for the message, e.g. ["pc.dc_report"]. All PrivCount
+    kinds start with ["pc."]. *)
+
+val encode : msg -> string
+val decode : kind:string -> string -> (msg, Bus.Codec.error) result
+
+val post : Bus.Sched.t -> epoch:int -> src:Bus.Party.t -> dst:Bus.Party.t -> msg -> unit
+(** Encode and enqueue in one step. *)
+
+(** {2 Published tallies} *)
+
+val encode_results : Ts.result list -> string
+(** Canonical bytes of a published tally — the value compared across
+    bus, in-process and restarted runs for byte-identity. *)
+
+val decode_results : string -> (Ts.result list, Bus.Codec.error) result

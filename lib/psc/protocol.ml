@@ -114,6 +114,20 @@ type result = {
   culprits : int list;
 }
 
+(* Estimator, shared with the bus deployment: subtract the binomial
+   noise mean, invert the occupancy bias, attach the exact interval. *)
+let estimate_of ~table_size ~confidence ~raw_nonzero ~total_flips =
+  let occupied = float_of_int raw_nonzero -. (float_of_int total_flips /. 2.0) in
+  let estimate =
+    Stats.Ci.invert_occupancy ~table_size
+      (max 0.0 (min occupied (float_of_int table_size -. 1.0)))
+  in
+  let ci =
+    Stats.Ci.binomial_exact ~confidence ~observed:raw_nonzero ~flips:total_flips
+      ~table_size ()
+  in
+  (estimate, ci)
+
 (* Telemetry on the table state at round close: occupancy and the hash
    collision rate the estimator has to invert (computed from simulator
    ground truth, only when telemetry is on). *)
@@ -273,16 +287,8 @@ let run t =
   (* 5. estimate: subtract the noise mean, invert the occupancy bias *)
   let estimate, ci =
     Obs.Ledger.phase "psc.estimate" @@ fun () ->
-    let occupied = float_of_int !raw_nonzero -. (float_of_int total_flips /. 2.0) in
-    let estimate =
-      Stats.Ci.invert_occupancy ~table_size:t.cfg.table_size
-        (max 0.0 (min occupied (float_of_int t.cfg.table_size -. 1.0)))
-    in
-    let ci =
-      Stats.Ci.binomial_exact ~confidence:t.cfg.confidence ~observed:!raw_nonzero
-        ~flips:total_flips ~table_size:t.cfg.table_size ()
-    in
-    (estimate, ci)
+    estimate_of ~table_size:t.cfg.table_size ~confidence:t.cfg.confidence
+      ~raw_nonzero:!raw_nonzero ~total_flips
   in
   Obs.Metrics.set "psc_raw_nonzero_slots" (float_of_int !raw_nonzero);
   Obs.Metrics.set "psc_noise_flips" (float_of_int total_flips);

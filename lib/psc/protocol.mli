@@ -63,3 +63,11 @@ type result = {
 val run : t -> result
 (** Execute the pipeline and produce the cardinality estimate.
     Callable once. *)
+
+val estimate_of :
+  table_size:int -> confidence:float -> raw_nonzero:int -> total_flips:int ->
+  float * Stats.Ci.t
+(** The estimator alone: noise-mean subtraction, occupancy-bias
+    inversion and the exact interval for a decrypted non-identity
+    count. Exported so the bus deployment publishes exactly what the
+    in-process pipeline would. *)

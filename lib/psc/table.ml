@@ -30,20 +30,27 @@ let insert t item =
   let i = Item.slot ~key:t.key ~table_size:(Array.length t.slots) item in
   t.slots.(i) <- Crypto.Elgamal.encrypt ~tab:t.tab t.drbg t.joint Crypto.Elgamal.marker
 
+let slots t = Array.copy t.slots
+
+let load_slots t slots =
+  if Array.length slots <> Array.length t.slots then
+    invalid_arg "Table.load_slots: size mismatch";
+  Array.blit slots 0 t.slots 0 (Array.length slots)
+
 (* Slot-wise homomorphic combination of the DCs' tables: identity *
    identity = identity, anything else is non-identity (the marker has
    prime order q, and at most a few hundred DCs multiply in, so the
    product can never cycle back to the identity). This computes the
    encrypted union. *)
-let combine tables =
-  match tables with
+let combine_vectors vectors =
+  match vectors with
   | [] -> invalid_arg "Table.combine: no tables"
   | first :: rest ->
-    let n = size first in
+    let n = Array.length first in
     List.iter
-      (fun t -> if size t <> n then invalid_arg "Table.combine: size mismatch")
+      (fun v -> if Array.length v <> n then invalid_arg "Table.combine: size mismatch")
       rest;
     Parallel.parallel_init n (fun i ->
-        List.fold_left
-          (fun acc t -> Crypto.Elgamal.mul acc t.slots.(i))
-          first.slots.(i) rest)
+        List.fold_left (fun acc v -> Crypto.Elgamal.mul acc v.(i)) first.(i) rest)
+
+let combine tables = combine_vectors (List.map (fun t -> t.slots) tables)

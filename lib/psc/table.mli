@@ -15,5 +15,18 @@ val create :
 val size : t -> int
 val insert : t -> string -> unit
 
+val slots : t -> Crypto.Elgamal.ciphertext array
+(** A copy of the current slot vector — what a bus-hosted DC submits
+    over the wire (ciphertexts only, never items). *)
+
+val load_slots : t -> Crypto.Elgamal.ciphertext array -> unit
+(** Overwrite the slots with a checkpointed vector of the same size;
+    raises [Invalid_argument] on a length mismatch. *)
+
 val combine : t list -> Crypto.Elgamal.ciphertext array
 (** Slot-wise homomorphic OR across DCs: the encrypted union. *)
+
+val combine_vectors :
+  Crypto.Elgamal.ciphertext array list -> Crypto.Elgamal.ciphertext array
+(** {!combine} over already-extracted slot vectors (the form an
+    aggregator holds after receiving table submissions as messages). *)

@@ -1,0 +1,432 @@
+(* lib/bus and the deployment runtime: codec/envelope round-trips and
+   typed error paths (QCheck), scheduler determinism and seed
+   sensitivity, checkpoint persistence, and the deploy scenarios end to
+   end — the acceptance criteria of the distributed-deployment work:
+   bus-published tallies byte-identical to the in-process pipelines,
+   malicious-CP detection with a failed-proof ledger event, and
+   restart-from-checkpoint reproducing the benign bytes exactly. *)
+
+let scenario name =
+  match Bus.Scenario.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scenario %s" name
+
+(* --- envelope codec properties --- *)
+
+let party_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Bus.Party.Ts);
+        (3, map (fun i -> Bus.Party.Dc i) (int_bound 50));
+        (3, map (fun i -> Bus.Party.Sk i) (int_bound 50));
+        (3, map (fun i -> Bus.Party.Cp i) (int_bound 50));
+      ])
+
+let envelope_gen =
+  QCheck.Gen.(
+    small_nat >>= fun epoch ->
+    small_nat >>= fun seq ->
+    party_gen >>= fun src ->
+    party_gen >>= fun dst ->
+    string_size ~gen:printable (int_bound 12) >>= fun kind ->
+    string_size (int_bound 200) >>= fun body ->
+    return { Bus.Envelope.epoch; seq; src; dst; kind; body })
+
+let arb_envelope = QCheck.make ~print:Bus.Envelope.to_string envelope_gen
+
+let prop_envelope_roundtrip =
+  QCheck.Test.make ~name:"envelope encode/decode round-trip" ~count:300
+    arb_envelope (fun e ->
+      match Bus.Envelope.decode (Bus.Envelope.encode e) with
+      | Ok e' -> Bus.Envelope.equal e e'
+      | Error _ -> false)
+
+let prop_envelope_truncated =
+  QCheck.Test.make ~name:"every strict prefix decodes to Truncated" ~count:300
+    QCheck.(pair arb_envelope small_nat)
+    (fun (e, cut) ->
+      let s = Bus.Envelope.encode e in
+      let cut = cut mod String.length s in
+      match Bus.Envelope.decode (String.sub s 0 cut) with
+      | Error Bus.Codec.Truncated -> true
+      | Ok _ | Error _ -> false)
+
+let prop_envelope_garbage_total =
+  QCheck.Test.make ~name:"arbitrary bytes never raise, only typed errors"
+    ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun s ->
+      match Bus.Envelope.decode s with Ok _ -> true | Error _ -> true)
+
+let test_envelope_error_paths () =
+  let e =
+    {
+      Bus.Envelope.epoch = 3;
+      seq = 7;
+      src = Bus.Party.Dc 1;
+      dst = Bus.Party.Ts;
+      kind = "pc.dc_report";
+      body = "payload";
+    }
+  in
+  let s = Bus.Envelope.encode e in
+  (* byte 3 is the version (after the 3-byte magic) *)
+  let bumped = Bytes.of_string s in
+  Bytes.set bumped 3 (Char.chr 2);
+  (match Bus.Envelope.decode (Bytes.to_string bumped) with
+  | Error (Bus.Codec.Unsupported_version 2) -> ()
+  | _ -> Alcotest.fail "expected Unsupported_version 2");
+  let wrong_magic = Bytes.of_string s in
+  Bytes.set wrong_magic 0 'X';
+  (match Bus.Envelope.decode (Bytes.to_string wrong_magic) with
+  | Error Bus.Codec.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  (match Bus.Envelope.decode (s ^ "\x00") with
+  | Error (Bus.Codec.Trailing 1) -> ()
+  | _ -> Alcotest.fail "expected Trailing 1")
+
+(* --- pipeline wire messages --- *)
+
+let check_pc_roundtrip m =
+  let bytes = Privcount.Wire.encode m in
+  match Privcount.Wire.decode ~kind:(Privcount.Wire.kind m) bytes with
+  | Ok m' ->
+    Alcotest.(check string) "pc wire round-trip" bytes (Privcount.Wire.encode m')
+  | Error e -> Alcotest.failf "pc wire: %s" (Bus.Codec.error_to_string e)
+
+let test_privcount_wire () =
+  List.iter check_pc_roundtrip
+    [
+      Privcount.Wire.Blind_shares { sk = 1; counters = [| 0; 5; 17; 123456789 |] };
+      Privcount.Wire.Report_request;
+      Privcount.Wire.Dc_report [ ("exit.bytes", 42); ("exit.circuits", 7) ];
+      Privcount.Wire.Sk_report_request { exclude_dcs = [ 0; 2 ] };
+      Privcount.Wire.Sk_report [ ("exit.bytes", 99) ];
+    ];
+  (match Privcount.Wire.decode ~kind:"psc.table" "" with
+  | Error (Bus.Codec.Invalid _) -> ()
+  | _ -> Alcotest.fail "unknown kind must be Invalid");
+  let results =
+    [
+      { Privcount.Ts.name = "a"; value = -3.25; sigma = 1.5; ci = Stats.Ci.make (-5.0) 2.0 };
+      { Privcount.Ts.name = "b"; value = 1e17; sigma = 0.0; ci = Stats.Ci.make 0.0 0.0 };
+    ]
+  in
+  let bytes = Privcount.Wire.encode_results results in
+  match Privcount.Wire.decode_results bytes with
+  | Ok rs ->
+    Alcotest.(check string) "results round-trip exactly" bytes
+      (Privcount.Wire.encode_results rs)
+  | Error e -> Alcotest.failf "results: %s" (Bus.Codec.error_to_string e)
+
+(* Real proofs must still verify after crossing the wire: membership
+   and structure checks on decode are not allowed to weaken them. *)
+let test_psc_wire_proofs () =
+  let cp0 = Psc.Cp.create ~id:0 ~seed:42 in
+  let cp1 = Psc.Cp.create ~id:1 ~seed:42 in
+  let joint =
+    Crypto.Elgamal.joint_pub [ Psc.Cp.public_key cp0; Psc.Cp.public_key cp1 ]
+  in
+  let tab = Crypto.Group.precomp joint in
+  let slots = Psc.Cp.noise_slots_proven ~tab cp0 ~joint ~flips:6 in
+  (match
+     Psc.Wire.decode ~kind:"psc.noise" (Psc.Wire.encode (Psc.Wire.Noise_slots slots))
+   with
+  | Ok (Psc.Wire.Noise_slots slots') ->
+    Alcotest.(check int) "slot count" (Array.length slots) (Array.length slots');
+    Array.iter
+      (fun (ct, proof) ->
+        Alcotest.(check bool) "bit proof verifies after decode" true
+          (Crypto.Bit_proof.verify ~pk_tab:tab ~pk:joint ct proof))
+      slots'
+  | Ok _ -> Alcotest.fail "decoded to the wrong constructor"
+  | Error e -> Alcotest.failf "noise: %s" (Bus.Codec.error_to_string e));
+  let drbg = Crypto.Drbg.create "test-bus-vector" in
+  let input =
+    Array.init 8 (fun _ -> Crypto.Elgamal.encrypt drbg joint Crypto.Elgamal.marker)
+  in
+  let output, proof = Psc.Cp.shuffle cp1 ~joint ~rounds:(Some 4) input in
+  let proof = match proof with Some p -> p | None -> Alcotest.fail "no proof" in
+  match
+    Psc.Wire.decode ~kind:"psc.shuffled"
+      (Psc.Wire.encode (Psc.Wire.Shuffled { output; proof = Some proof }))
+  with
+  | Ok (Psc.Wire.Shuffled { output = output'; proof = Some proof' }) ->
+    Alcotest.(check bool) "shuffle proof verifies after decode" true
+      (Crypto.Shuffle.verify joint ~input ~output:output' proof')
+  | Ok _ -> Alcotest.fail "decoded to the wrong constructor"
+  | Error e -> Alcotest.failf "shuffled: %s" (Bus.Codec.error_to_string e)
+
+(* --- scheduler determinism --- *)
+
+(* a 4-party token ring: each delivery decrements a ttl and forwards,
+   so one run exercises posting from inside handlers *)
+let ring_digest ~seed =
+  let s = Bus.Sched.create ~record_order:true ~seed () in
+  for i = 0 to 3 do
+    Bus.Sched.register s (Bus.Party.Dc i) (fun env ->
+        let ttl = int_of_string env.Bus.Envelope.body in
+        if ttl > 0 then
+          Bus.Sched.post s ~epoch:0 ~src:(Bus.Party.Dc i)
+            ~dst:(Bus.Party.Dc ((i + 1) mod 4))
+            ~kind:"tok"
+            ~body:(string_of_int (ttl - 1));
+        true)
+  done;
+  Bus.Sched.post s ~epoch:0 ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc 0) ~kind:"tok"
+    ~body:"25";
+  Bus.Sched.post s ~epoch:0 ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc 2) ~kind:"tok"
+    ~body:"13";
+  let stats = Bus.Sched.run s in
+  (Bus.Sched.order_digest s, stats)
+
+let test_sched_determinism () =
+  let d1, s1 = ring_digest ~seed:5 in
+  let d2, s2 = ring_digest ~seed:5 in
+  Alcotest.(check string) "same seed, same delivery order" d1 d2;
+  Alcotest.(check int) "same seed, same delivery count" s1.Bus.Sched.delivered
+    s2.Bus.Sched.delivered;
+  let d3, _ = ring_digest ~seed:6 in
+  Alcotest.(check bool) "different seed, different interleaving" true (d1 <> d3)
+
+let test_sched_crash_and_unclaimed () =
+  let s = Bus.Sched.create ~seed:1 () in
+  let hits = ref 0 in
+  Bus.Sched.register s (Bus.Party.Dc 0) (fun _ -> incr hits; true);
+  Bus.Sched.crash s (Bus.Party.Dc 0);
+  Bus.Sched.post s ~epoch:0 ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc 0) ~kind:"x"
+    ~body:"";
+  let stats = Bus.Sched.run s in
+  Alcotest.(check int) "crashed party's mail dropped" 1 stats.Bus.Sched.dropped;
+  Alcotest.(check int) "crashed handler never runs" 0 !hits;
+  let s2 = Bus.Sched.create ~seed:1 () in
+  Bus.Sched.register s2 (Bus.Party.Dc 0) (fun _ -> false);
+  Bus.Sched.post s2 ~epoch:0 ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc 0) ~kind:"x"
+    ~body:"";
+  match Bus.Sched.run s2 with
+  | _ -> Alcotest.fail "unclaimed envelope must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- checkpoints --- *)
+
+let sample_checkpoint =
+  {
+    Bus.Checkpoint.seed = 11;
+    scenario = "benign";
+    epoch = 1;
+    phase = "collect";
+    entries =
+      [
+        { Bus.Checkpoint.party = Bus.Party.Dc 0; state = "\x00binary\xffblob" };
+        { Bus.Checkpoint.party = Bus.Party.Sk 1; state = "" };
+      ];
+  }
+
+let test_checkpoint_roundtrip () =
+  let bytes = Bus.Checkpoint.encode sample_checkpoint in
+  (match Bus.Checkpoint.decode bytes with
+  | Ok cp ->
+    Alcotest.(check string) "checkpoint re-encodes identically" bytes
+      (Bus.Checkpoint.encode cp);
+    Alcotest.(check (option string)) "find dc blob" (Some "\x00binary\xffblob")
+      (Bus.Checkpoint.find cp (Bus.Party.Dc 0));
+    Alcotest.(check (option string)) "find missing party" None
+      (Bus.Checkpoint.find cp (Bus.Party.Cp 0))
+  | Error e -> Alcotest.failf "decode: %s" (Bus.Codec.error_to_string e));
+  (match Bus.Checkpoint.decode (String.sub bytes 0 (String.length bytes - 1)) with
+  | Error Bus.Codec.Truncated -> ()
+  | _ -> Alcotest.fail "truncated checkpoint must be Truncated");
+  let path = Filename.temp_file "tormeasure-ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bus.Checkpoint.save path sample_checkpoint;
+      match Bus.Checkpoint.load path with
+      | Ok cp ->
+        Alcotest.(check string) "file round-trip" bytes (Bus.Checkpoint.encode cp)
+      | Error e -> Alcotest.failf "load: %s" (Bus.Codec.error_to_string e));
+  match Bus.Checkpoint.load "/nonexistent/tormeasure.ckpt" with
+  | Error (Bus.Codec.Invalid _) -> ()
+  | _ -> Alcotest.fail "unreadable file must be Invalid"
+
+let test_scenario_catalogue () =
+  Alcotest.(check (list string))
+    "catalogue names"
+    [ "benign"; "dc-crash"; "churn"; "slow-cp"; "malicious-cp"; "restart" ]
+    (Bus.Scenario.names ());
+  Alcotest.(check bool) "find hit" true (Bus.Scenario.find "restart" <> None);
+  Alcotest.(check bool) "find miss" true (Bus.Scenario.find "nope" = None);
+  let hooks =
+    {
+      Bus.Lifecycle.setup = (fun ~epoch:_ -> ());
+      collect = (fun ~epoch:_ -> ());
+      aggregate = (fun ~epoch:_ -> ());
+      publish = (fun ~epoch:_ -> ());
+      checkpoint = (fun ~epoch:_ -> sample_checkpoint);
+      restore = (fun _ -> ());
+    }
+  in
+  match Bus.Lifecycle.run ~epochs:0 hooks with
+  | _ -> Alcotest.fail "epochs 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- deploy scenarios end-to-end --- *)
+
+let deploy_cfg ?(epochs = 1) () = Tormeasure.Deploy.default_config ~seed:11 ~epochs ()
+
+let test_deploy_benign_matches_reference () =
+  let cfg = deploy_cfg ~epochs:2 () in
+  let o = Tormeasure.Deploy.run cfg (scenario "benign") in
+  Alcotest.(check string) "bus bytes = in-process bytes"
+    (Tormeasure.Deploy.run_reference cfg (scenario "benign"))
+    o.Tormeasure.Deploy.digest;
+  Alcotest.(check int) "one order digest per epoch" 2
+    (List.length o.Tormeasure.Deploy.order_digests);
+  Alcotest.(check bool) "no drops in a benign run" true
+    (List.for_all (fun (s : Bus.Sched.stats) -> s.dropped = 0) o.Tormeasure.Deploy.stats);
+  Alcotest.(check bool) "nothing detected" false o.Tormeasure.Deploy.detected
+
+let test_deploy_jobs_invariance () =
+  let cfg = deploy_cfg () in
+  let before = Parallel.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs before)
+    (fun () ->
+      Parallel.set_jobs 1;
+      let d1 = (Tormeasure.Deploy.run cfg (scenario "benign")).Tormeasure.Deploy.digest in
+      Parallel.set_jobs 4;
+      let d4 = (Tormeasure.Deploy.run cfg (scenario "benign")).Tormeasure.Deploy.digest in
+      Alcotest.(check string) "published bytes identical at any pool size" d1 d4)
+
+let test_deploy_dc_crash () =
+  let cfg = deploy_cfg () in
+  let o = Tormeasure.Deploy.run cfg (scenario "dc-crash") in
+  let p = List.hd o.Tormeasure.Deploy.publishes in
+  Alcotest.(check (list int)) "DC 1 never reported" [ 1 ]
+    p.Tormeasure.Deploy.missing_dcs;
+  Alcotest.(check bool) "its mail was dropped" true
+    ((List.hd o.Tormeasure.Deploy.stats).Bus.Sched.dropped > 0);
+  (* the same events through the in-process round, with the crashed
+     DC's post-crash observations lost and its report dropped *)
+  let wl = Tormeasure.Deploy.workload cfg ~epoch:0 ~live:cfg.Tormeasure.Deploy.num_dcs in
+  let round =
+    Privcount.Deployment.create
+      (Privcount.Deployment.config ~num_sks:cfg.Tormeasure.Deploy.num_sks
+         Tormeasure.Deploy.counter_specs)
+      ~num_dcs:cfg.Tormeasure.Deploy.num_dcs ~seed:cfg.Tormeasure.Deploy.seed
+  in
+  let half = Array.length wl.Tormeasure.Deploy.pc_events / 2 in
+  Array.iteri
+    (fun i (dc, name, by) ->
+      if not (i >= half && dc = 1) then
+        Privcount.Deployment.increment round ~dc ~name ~by)
+    wl.Tormeasure.Deploy.pc_events;
+  Alcotest.(check string) "dropout recovery = in-process dropped_dcs"
+    (Privcount.Wire.encode_results (Privcount.Deployment.tally ~dropped_dcs:[ 1 ] round))
+    p.Tormeasure.Deploy.pc_bytes
+
+let test_deploy_malicious_cp () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let o = Tormeasure.Deploy.run (deploy_cfg ()) (scenario "malicious-cp") in
+      Alcotest.(check bool) "misbehaviour detected" true o.Tormeasure.Deploy.detected;
+      Alcotest.(check (list int)) "CP 1 blamed" [ 1 ] o.Tormeasure.Deploy.culprits;
+      let p = List.hd o.Tormeasure.Deploy.publishes in
+      Alcotest.(check bool) "published result marks failed proofs" false
+        p.Tormeasure.Deploy.psc.Psc.Protocol.proofs_ok;
+      let failed_shuffle =
+        List.exists
+          (function
+            | Obs.Ledger.Proof { kind = "psc-shuffle"; party = 1; ok = false; _ } ->
+              true
+            | _ -> false)
+          (Obs.Ledger.events ())
+      in
+      Alcotest.(check bool) "ledger records the failed shuffle proof" true
+        failed_shuffle;
+      let audit = Obs.Ledger.audit (Obs.Ledger.events ()) in
+      Alcotest.(check bool) "audit fails the run" false audit.Obs.Ledger.ok)
+
+let test_deploy_restart_byte_identical () =
+  let cfg = deploy_cfg ~epochs:2 () in
+  let benign = Tormeasure.Deploy.run cfg (scenario "benign") in
+  let restarted = Tormeasure.Deploy.run cfg (scenario "restart") in
+  Alcotest.(check int) "one restart happened" 1 restarted.Tormeasure.Deploy.restarts;
+  Alcotest.(check string) "restart reproduces the benign bytes exactly"
+    benign.Tormeasure.Deploy.digest restarted.Tormeasure.Deploy.digest;
+  Alcotest.(check (list string)) "even the delivery order replays"
+    benign.Tormeasure.Deploy.order_digests restarted.Tormeasure.Deploy.order_digests;
+  match restarted.Tormeasure.Deploy.last_checkpoint with
+  | None -> Alcotest.fail "no checkpoint captured"
+  | Some cp ->
+    Alcotest.(check int) "last checkpoint is the final epoch's" 1
+      cp.Bus.Checkpoint.epoch;
+    (* 3 DC entries (both pipelines in one blob) + 2 SK entries *)
+    Alcotest.(check int) "entries cover every stateful party" 5
+      (List.length cp.Bus.Checkpoint.entries)
+
+let test_deploy_slow_cp_schedule_only () =
+  let cfg = deploy_cfg () in
+  let benign = Tormeasure.Deploy.run cfg (scenario "benign") in
+  let slow = Tormeasure.Deploy.run cfg (scenario "slow-cp") in
+  Alcotest.(check string) "same published bytes" benign.Tormeasure.Deploy.digest
+    slow.Tormeasure.Deploy.digest;
+  Alcotest.(check bool) "but a different delivery schedule" true
+    (benign.Tormeasure.Deploy.order_digests <> slow.Tormeasure.Deploy.order_digests)
+
+let test_deploy_churn_matches_reference () =
+  let cfg = deploy_cfg ~epochs:2 () in
+  let o = Tormeasure.Deploy.run cfg (scenario "churn") in
+  Alcotest.(check string) "per-epoch deployment sizes re-derive in-process"
+    (Tormeasure.Deploy.run_reference cfg (scenario "churn"))
+    o.Tormeasure.Deploy.digest
+
+let () =
+  Alcotest.run "bus"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
+          QCheck_alcotest.to_alcotest prop_envelope_truncated;
+          QCheck_alcotest.to_alcotest prop_envelope_garbage_total;
+          Alcotest.test_case "version/magic/trailing errors" `Quick
+            test_envelope_error_paths;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "privcount messages" `Quick test_privcount_wire;
+          Alcotest.test_case "psc proofs survive the wire" `Quick
+            test_psc_wire_proofs;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_sched_determinism;
+          Alcotest.test_case "crash and unclaimed mail" `Quick
+            test_sched_crash_and_unclaimed;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip and files" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "scenario catalogue" `Quick test_scenario_catalogue;
+        ] );
+      ( "deploy",
+        [
+          Alcotest.test_case "benign = in-process bytes" `Quick
+            test_deploy_benign_matches_reference;
+          Alcotest.test_case "pool-size invariance" `Quick test_deploy_jobs_invariance;
+          Alcotest.test_case "dc-crash dropout recovery" `Quick test_deploy_dc_crash;
+          Alcotest.test_case "malicious CP detected" `Quick test_deploy_malicious_cp;
+          Alcotest.test_case "restart byte-identical" `Quick
+            test_deploy_restart_byte_identical;
+          Alcotest.test_case "slow CP changes schedule only" `Quick
+            test_deploy_slow_cp_schedule_only;
+          Alcotest.test_case "churn = in-process bytes" `Quick
+            test_deploy_churn_matches_reference;
+        ] );
+    ]

@@ -108,6 +108,44 @@ let test_privflow () =
   check_flags "config-added accessor" ~rule:"privflow/raw-counter-leak"
     (lint ~config ~path:"bin/fixture.ml" "let t e = Torsim.Engine.truth e")
 
+(* the repo policy declares lib/bus a sink (serialized envelopes leave
+   the process via checkpoints and recorded delivery orders) and pulls
+   it into the determinism scope; a pre-noise report smuggled through
+   an envelope body must be caught like any other sink leak *)
+let test_bus_sink () =
+  let config =
+    match
+      Config.of_string
+        "sink lib/bus\nscope determinism lib/bus\nscope domainsafety lib/bus"
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  check_flags "raw report serialized into an envelope"
+    ~rule:"privflow/raw-counter-leak"
+    (lint ~config ~path:"lib/bus/fixture.ml"
+       "let body d = Wire.encode (Privcount.Dc.report d)");
+  (* the helper lives outside any sink; only the whole-program pass
+     sees the bus reaching it — the envelope launders nothing *)
+  let helper = ("lib/core/blob_fix.ml", "let grab d = Privcount.Dc.report d") in
+  let bus = ("lib/bus/envelope_fix.ml", "let body d = Core.Blob_fix.grab d") in
+  check_clean "per-file pass misses the laundered blob"
+    (lint ~config ~path:(fst bus) (snd bus));
+  check_flags "leak hidden one call behind the envelope helper"
+    ~rule:"privflow/transitive-leak"
+    (Engine.lint_sources config [ helper; bus ]);
+  (* without the sink directive the same code is ordinary library
+     aggregation — the directive is what makes it a leak *)
+  check_clean "not a sink by default"
+    (lint ~path:"lib/bus/fixture.ml" "let body d = Wire.encode (Privcount.Dc.report d)");
+  (* the determinism scope rides along: iteration-order hazards in the
+     bus are now first-class findings *)
+  check_flags "hashtbl order in the bus" ~rule:"determinism/hashtbl-order"
+    (lint ~config ~path:"lib/bus/fixture.ml"
+       "let parties h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []");
+  check_flags "wall clock in the bus" ~rule:"determinism/wall-clock"
+    (lint ~config ~path:"lib/bus/fixture.ml" "let due () = Sys.time ()")
+
 (* --- hygiene --- *)
 
 let test_hygiene () =
@@ -471,7 +509,11 @@ let () =
           Alcotest.test_case "scope directive" `Quick test_determinism_scope_directive;
         ] );
       ("polycompare", [ Alcotest.test_case "structural eq" `Quick test_polycompare ]);
-      ("privflow", [ Alcotest.test_case "raw accessors" `Quick test_privflow ]);
+      ("privflow",
+        [
+          Alcotest.test_case "raw accessors" `Quick test_privflow;
+          Alcotest.test_case "bus envelope sink" `Quick test_bus_sink;
+        ]);
       ("hygiene", [ Alcotest.test_case "failure modes" `Quick test_hygiene ]);
       ("suppression", [ Alcotest.test_case "allow comments" `Quick test_suppression ]);
       ( "config",
