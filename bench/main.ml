@@ -159,6 +159,29 @@ let kernel_shuffle =
   let pk, cts = shuffle_cts () in
   ("crypto/shuffle-64-proven", fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:4 fixture_drbg pk cts))
 
+(* Batched proof verification: 256 proven noise bits under one key
+   checked as two folded multi-exponentiations plus the per-proof
+   Fiat–Shamir hashes — the per-message verification unit of the bus
+   deployment. *)
+let batch_bits =
+  lazy
+    (let _, pk = Lazy.force elgamal_key in
+     let tab = Crypto.Group.precomp pk in
+     let drbg = Crypto.Drbg.create "bench-batch" in
+     let pairs = Array.make 256 (Crypto.Bit_proof.encrypt_bit_proven drbg ~pk false) in
+     for i = 1 to 255 do
+       pairs.(i) <- Crypto.Bit_proof.encrypt_bit_proven drbg ~pk (i land 1 = 1)
+     done;
+     (pk, tab, pairs))
+
+let kernel_batch_verify =
+  ( "crypto/batch-verify-256",
+    fun () ->
+      let pk, tab, pairs = Lazy.force batch_bits in
+      match Crypto.Bit_proof.verify_batch ~pk_tab:tab ~pk pairs with
+      | Crypto.Batch_verify.Accepted -> ()
+      | Crypto.Batch_verify.Rejected _ -> failwith "bench: honest batch rejected" )
+
 (* cost scaling in the number of computation parties: each CP adds a
    shuffle + rerandomize + decrypt pass over the vector *)
 let psc_with_cps num_cps =
@@ -196,6 +219,25 @@ let kernel_shuffle_proof_rounds =
   let pk, cts = shuffle_cts () in
   ( "scaling/shuffle-64-rounds16",
     fun () -> ignore (Crypto.Shuffle.shuffle ~rounds:16 fixture_drbg pk cts) )
+
+(* Million-slot round with proofs ON: noise bit proofs, 2-round shuffle
+   arguments and verifiable decryption over a 2^20-slot table. One
+   iteration is a whole round, so this tracks wall-clock at deployment
+   scale; the committed BENCH json is the record that it completes. *)
+let kernel_psc_1m =
+  ( "scaling/psc-1M-run",
+    fun () ->
+      let proto =
+        Psc.Protocol.create
+          (Psc.Protocol.config ~table_size:1_048_576 ~num_cps:3 ~noise_flips_per_cp:64
+             ~proof_rounds:(Some 2) ~verify:true ())
+          ~num_dcs:2 ~seed:13
+      in
+      for i = 0 to 2_047 do
+        Psc.Protocol.insert proto ~dc:(i land 1) (Printf.sprintf "item:%d" i)
+      done;
+      let r = Psc.Protocol.run proto in
+      if not r.Psc.Protocol.proofs_ok then failwith "bench: psc-1M proofs rejected" )
 
 (* --- whole-network ingestion throughput --- *)
 
@@ -340,9 +382,10 @@ let all_kernels =
   [
     kernel_table1; kernel_fig1; kernel_fig2; kernel_fig3; kernel_table2; kernel_table3;
     kernel_table4; kernel_table5; kernel_fig4; kernel_table6; kernel_table7; kernel_table8;
-    kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle; kernel_gaussian;
+    kernel_users; kernel_sha256; kernel_pow_g; kernel_elgamal; kernel_shuffle;
+    kernel_batch_verify; kernel_gaussian;
     kernel_psc_2cps; kernel_psc_5cps; kernel_shuffle_proof_rounds; kernel_psc_16k;
-    kernel_netday; kernel_ingest; kernel_bus_deliver; kernel_lint;
+    kernel_psc_1m; kernel_netday; kernel_ingest; kernel_bus_deliver; kernel_lint;
   ]
 
 (* One post-timing run with telemetry on: what did this kernel touch?
@@ -442,6 +485,29 @@ let () =
     | [] -> None
   in
   (match jobs_of args with None -> () | Some n -> Parallel.set_jobs n);
+  (* --smoke NAME: run one kernel exactly once (no timing loop) and
+     exit — CI uses this for the 2^20-slot PSC run, where a bechamel
+     quota would repeat a ~minute-long round *)
+  let rec smoke_of = function
+    | "--smoke" :: name :: _ -> Some name
+    | _ :: rest -> smoke_of rest
+    | [] -> None
+  in
+  (match smoke_of args with
+  | None -> ()
+  | Some name -> (
+    match List.assoc_opt name all_kernels with
+    | None ->
+      Printf.eprintf "unknown kernel %S; known: %s\n" name
+        (String.concat ", " (List.map fst all_kernels));
+      exit 1
+    | Some fn ->
+      let t0 = Unix.gettimeofday () in
+      fn ();
+      Printf.printf "smoke %s ok in %.1fs (jobs=%d)\n%!" name
+        (Unix.gettimeofday () -. t0)
+        (Parallel.jobs ());
+      exit 0));
   let seed = 1 in
   if not perf_only then run_reproduction seed;
   if not repro_only then begin

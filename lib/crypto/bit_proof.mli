@@ -19,6 +19,18 @@ val verify :
 (** [?pk_tab] is a fixed-base table for [pk]; raises [Invalid_argument]
     on a base mismatch. *)
 
+val verify_batch :
+  ?pk_tab:Group.precomp -> pk:Elgamal.pub ->
+  (Elgamal.ciphertext * t) array -> Batch_verify.outcome
+(** Batched {!verify} over many proven slots under one key: the four
+    group equations per proof fold into two random-linear-combination
+    multi-exponentiations (~12 multiplications per slot instead of ~8
+    full exponentiations); the scalar sub-challenge constraint stays
+    exact per proof. A failed fold re-runs the single-proof verifier so
+    the outcome names the offending slots. Accepts iff every proof
+    verifies individually, up to the ~1/q batch soundness error
+    (DESIGN.md §3c). *)
+
 val encrypt_bit_proven :
   Drbg.t -> pk:Elgamal.pub -> bool -> Elgamal.ciphertext * t
 (** Fresh encryption of a bit together with its validity proof. *)

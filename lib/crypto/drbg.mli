@@ -17,3 +17,18 @@ val uniform : t -> int -> int
 (** [uniform t n] draws an unbiased integer in [0, n). *)
 
 val uniform64 : t -> int64
+
+val uniform_array : t -> int -> int -> int array
+(** [uniform_array t n count] draws [count] independent unbiased
+    integers in [0, n) from a single bulk [generate] call — roughly
+    1/16th the hashing of [count] separate {!uniform} calls, the
+    dominant cost of large protocol phases. The stream consumption
+    differs from repeated {!uniform}: a draw site uses one pattern and
+    keeps it (determinism is about program order; DESIGN.md §3c). *)
+
+val uniform_lanes : t -> (int -> int) -> int -> int array
+(** [uniform_lanes t bound count]: like {!uniform_array} but lane [i]
+    is uniform in [0, bound i) — bulk Fisher–Yates draws and
+    interleaved bit/exponent prepasses. Every bound must be positive;
+    rejected lanes (probability ≤ bound/2^32 per lane) fall back to
+    fresh single draws, deterministically for a fixed seed. *)

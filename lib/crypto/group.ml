@@ -7,6 +7,26 @@ type exp = int
 let p = 2147483579
 let q = 1073741789 (* (p - 1) / 2, prime *)
 
+(* Division-free reduction. p = 2^31 - 69 and q = 2^30 - 35 are both
+   of the form 2^k - c for tiny c, so x mod p folds the high bits down
+   as x = hi*2^31 + lo == 69*hi + lo (mod p). For x < 2^62 one fold
+   leaves < 70*2^31 < 2^38, a second leaves < 69*2^7 + 2^31 < p + 8901,
+   and a single conditional subtract finishes. This replaces the
+   hardware divide in every modular multiplication (~20-40 cycles) with
+   shifts and adds, and is exact: the startup self-check below asserts
+   agreement with [mod] on the extreme products. *)
+let[@inline] reduce_p x =
+  let x = ((x lsr 31) * 69) + (x land 0x7FFFFFFF) in
+  let x = ((x lsr 31) * 69) + (x land 0x7FFFFFFF) in
+  if x >= p then x - p else x
+
+(* Same shape for q = 2^30 - 35: valid for x < 2^60, which covers any
+   product of reduced exponents. *)
+let[@inline] reduce_q x =
+  let x = ((x lsr 30) * 35) + (x land 0x3FFFFFFF) in
+  let x = ((x lsr 30) * 35) + (x land 0x3FFFFFFF) in
+  if x >= q then x - q else x
+
 (* Internal modular exponentiation with an arbitrary non-negative
    exponent (inverses need exponent p - 2, which is not reduced mod q). *)
 let powmod b e m =
@@ -43,14 +63,42 @@ let () =
   let is_prime n = List.for_all (is_sprp n) [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
   assert (p = (2 * q) + 1);
   assert (is_prime p);
-  assert (is_prime q)
+  assert (is_prime q);
+  (* the special-form reductions agree with [mod] at the extremes of
+     their input ranges (largest products, fold boundaries) *)
+  List.iter
+    (fun x -> assert (reduce_p x = x mod p))
+    [ 0; 1; p - 1; p; p + 1; (p - 1) * (p - 1); max_int lsr 1; (1 lsl 31) - 1; 1 lsl 31 ];
+  List.iter
+    (fun x -> assert (reduce_q x = x mod q))
+    [ 0; 1; q - 1; q; q + 1; (q - 1) * (q - 1); (1 lsl 60) - 1; (1 lsl 30) - 1; 1 lsl 30 ]
 
 let g = 4 (* 2^2: a quadratic residue, hence a generator of the order-q subgroup *)
 let one = 1
 let zero_exp = 0
 let one_exp = 1
 
-let is_member x = x >= 1 && x < p && powmod x q p = 1
+(* Square-and-multiply over the fast reduction; exponent any
+   non-negative int (inverses use p - 2, which exceeds q). *)
+let pow_int b e =
+  let b = ref b and e = ref e and acc = ref 1 in
+  while !e > 0 do
+    if !e land 1 = 1 then acc := reduce_p (!acc * !b);
+    b := reduce_p (!b * !b);
+    e := !e lsr 1
+  done;
+  !acc
+
+let pow_q_int b e =
+  let b = ref b and e = ref e and acc = ref 1 in
+  while !e > 0 do
+    if !e land 1 = 1 then acc := reduce_q (!acc * !b);
+    b := reduce_q (!b * !b);
+    e := !e lsr 1
+  done;
+  !acc
+
+let is_member x = x >= 1 && x < p && pow_int x q = 1
 
 let elt_of_int x =
   if not (is_member x) then invalid_arg "Group.elt_of_int: not a subgroup element";
@@ -62,10 +110,10 @@ let exp_of_int x =
 
 let elt_to_int x = x
 let exp_to_int x = x
-let mul a b = a * b mod p
-let inv a = powmod a (p - 2) p
+let mul a b = reduce_p (a * b)
+let inv a = pow_int a (p - 2)
 let div a b = mul a (inv b)
-let pow b e = powmod b e p
+let pow b e = pow_int b e
 
 (* Fixed-base exponentiation: radix-2^8 precomputation. For a base b,
    [table.((w lsl 8) lor d)] holds b^(d * 2^(8w)) for the four 8-bit
@@ -82,21 +130,21 @@ let precomp b =
     let bw = !window_base in
     let acc = ref 1 in
     for d = 1 to 255 do
-      acc := !acc * bw mod p;
+      acc := reduce_p (!acc * bw);
       table.((w lsl 8) lor d) <- !acc
     done;
     (* bw^255 * bw = bw^256, the next window's base *)
-    window_base := !acc * bw mod p
+    window_base := reduce_p (!acc * bw)
   done;
   { base = b; table }
 
 let precomp_base t = t.base
 
 let pow_precomp { table; _ } e =
-  let m01 = table.(e land 0xff) * table.(0x100 lor ((e lsr 8) land 0xff)) mod p in
+  let m01 = reduce_p (table.(e land 0xff) * table.(0x100 lor ((e lsr 8) land 0xff))) in
   let m2 = table.(0x200 lor ((e lsr 16) land 0xff)) in
   let m3 = table.(0x300 lor ((e lsr 24) land 0xff)) in
-  m01 * m2 mod p * m3 mod p
+  reduce_p (reduce_p (m01 * m2) * m3)
 
 let g_precomp = precomp g
 let pow_g e = pow_precomp g_precomp e
@@ -118,25 +166,32 @@ let batch_inv xs =
     let acc = ref 1 in
     for i = 0 to n - 1 do
       prefix.(i) <- !acc;
-      acc := !acc * xs.(i) mod p
+      acc := reduce_p (!acc * xs.(i))
     done;
     let out = Array.make n 1 in
-    let suffix_inv = ref (powmod !acc (p - 2) p) in
+    let suffix_inv = ref (pow_int !acc (p - 2)) in
     for i = n - 1 downto 0 do
-      out.(i) <- !suffix_inv * prefix.(i) mod p;
-      suffix_inv := !suffix_inv * xs.(i) mod p
+      out.(i) <- reduce_p (!suffix_inv * prefix.(i));
+      suffix_inv := reduce_p (!suffix_inv * xs.(i))
     done;
     out
   end
-let exp_add a b = (a + b) mod q
-let exp_sub a b = (a - b + q) mod q
-let exp_mul a b = a * b mod q
+let exp_add a b =
+  let s = a + b in
+  if s >= q then s - q else s
+
+let exp_sub a b =
+  let d = a - b in
+  if d < 0 then d + q else d
+
+let exp_mul a b = reduce_q (a * b)
 let exp_neg a = if a = 0 then 0 else q - a
 let exp_inv a =
   if a = 0 then invalid_arg "Group.exp_inv: zero exponent";
-  powmod a (q - 2) q
+  pow_q_int a (q - 2)
 
 let random_exp drbg = Drbg.uniform drbg q
+let random_exps drbg count = Drbg.uniform_array drbg q count
 let random_elt drbg = pow_g (random_exp drbg)
 
 let hash_to_exp s =
@@ -146,7 +201,7 @@ let hash_to_exp s =
   for i = 0 to 7 do
     v := (!v lsl 8) lor Char.code d.[i]
   done;
-  (!v land ((1 lsl 60) - 1)) mod q
+  reduce_q (!v land ((1 lsl 60) - 1))
 
 let hash_to_elt s =
   let e = hash_to_exp ("elt|" ^ s) in
@@ -155,3 +210,83 @@ let hash_to_elt s =
 
 let elt_to_string x =
   String.init 4 (fun i -> Char.chr ((x lsr (8 * (3 - i))) land 0xFF))
+
+(* Pippenger-style multi-exponentiation: prod_i bases.(i)^exps.(i).
+
+   Windowed bucket method over w-bit digits of the exponents, high
+   window first: per window, each base is multiplied into the bucket of
+   its digit (one multiplication per term), then the buckets fold via
+   running suffix products (2^w multiplications), and w squarings chain
+   the windows. Total ~ ceil(30/w) * (n + 2^(w+1)) multiplications, or
+   ~4 per term at n = 2^20 against ~45 for a naive pow-and-fold. The
+   window widens with n; below [multi_exp_cutover] terms the bucket
+   overhead loses to the naive fold, so small batches use it directly
+   (and callers keep fixed-base terms — g, a long-lived public key — on
+   the radix-2^8 tables, which beat both; see DESIGN.md §3c).
+
+   Large inputs are split into fixed-size chunks folded in index order:
+   the chunk products multiply back together exactly, so the result is
+   identical at any pool size. *)
+
+let multi_exp_cutover = 8
+
+let window_bits n =
+  if n < 32 then 4
+  else if n < 128 then 5
+  else if n < 512 then 6
+  else if n < 2048 then 7
+  else 8
+
+let multi_exp_seq bases exps lo hi =
+  let n = hi - lo in
+  if n <= 0 then 1
+  else if n < multi_exp_cutover then begin
+    let acc = ref 1 in
+    for i = lo to hi - 1 do
+      acc := reduce_p (!acc * pow_int bases.(i) exps.(i))
+    done;
+    !acc
+  end
+  else begin
+    let w = window_bits n in
+    let nbuckets = 1 lsl w in
+    let buckets = Array.make nbuckets 1 in
+    let nwindows = (30 + w - 1) / w in
+    let acc = ref 1 in
+    for win = nwindows - 1 downto 0 do
+      if win < nwindows - 1 then
+        for _ = 1 to w do
+          acc := reduce_p (!acc * !acc)
+        done;
+      Array.fill buckets 0 nbuckets 1;
+      let shift = w * win in
+      for i = lo to hi - 1 do
+        let d = (exps.(i) lsr shift) land (nbuckets - 1) in
+        if d > 0 then buckets.(d) <- reduce_p (buckets.(d) * bases.(i))
+      done;
+      (* prod_d buckets.(d)^d via running suffix products *)
+      let running = ref 1 and sum = ref 1 in
+      for d = nbuckets - 1 downto 1 do
+        running := reduce_p (!running * buckets.(d));
+        sum := reduce_p (!sum * !running)
+      done;
+      acc := reduce_p (!acc * !sum)
+    done;
+    !acc
+  end
+
+let multi_exp_chunk = 1 lsl 14
+
+let multi_exp ~bases ~exps =
+  let n = Array.length bases in
+  if Array.length exps <> n then invalid_arg "Group.multi_exp: length mismatch";
+  if n <= multi_exp_chunk then multi_exp_seq bases exps 0 n
+  else begin
+    let nchunks = (n + multi_exp_chunk - 1) / multi_exp_chunk in
+    let partials =
+      Parallel.parallel_init ~min_chunk:1 nchunks (fun c ->
+          multi_exp_seq bases exps (c * multi_exp_chunk)
+            (min n ((c + 1) * multi_exp_chunk)))
+    in
+    Array.fold_left (fun acc x -> reduce_p (acc * x)) 1 partials
+  end

@@ -30,14 +30,22 @@ let invert_perm perm =
   Array.iteri (fun i p -> inv.(p) <- i) perm;
   inv
 
+(* Fisher–Yates with the swap indices drawn in one bulk DRBG read:
+   draw k (0-based) swaps position i = n-1-k and needs a bound of i+1 =
+   n-k. See the bulk-draw note in Drbg — this consumes the stream
+   differently from n-1 single [uniform] calls. *)
 let random_perm drbg n =
   let a = Array.init n (fun i -> i) in
-  for i = n - 1 downto 1 do
-    let j = Drbg.uniform drbg (i + 1) in
-    let tmp = a.(i) in
-    a.(i) <- a.(j);
-    a.(j) <- tmp
-  done;
+  if n > 1 then begin
+    let js = Drbg.uniform_lanes drbg (fun k -> n - k) (n - 1) in
+    for k = 0 to n - 2 do
+      let i = n - 1 - k in
+      let j = js.(k) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done
+  end;
   a
 
 let transcript_digest pk ~input ~output ~shadows =
@@ -51,50 +59,56 @@ let transcript_digest pk ~input ~output ~shadows =
 
 let challenge_bit digest j = (Char.code digest.[j / 8 mod 32] lsr (j mod 8)) land 1 = 1
 
-let shuffle ?(rounds = default_rounds) drbg pk input =
+let shuffle ?(rounds = default_rounds) ?tab drbg pk input =
   let n = Array.length input in
-  let tab = Group.precomp pk in
+  let tab = match tab with Some t -> t | None -> Group.precomp pk in
+  (* sequential randomness prepass in the legacy logical order — pi, r,
+     then (sigma_j, s_j) per round — each vector as one bulk DRBG read *)
   let pi = random_perm drbg n in
-  let r = Array.init n (fun _ -> Group.random_exp drbg) in
-  let output = apply_link ~tab pk ~from:input ~perm:pi ~rand:r in
-  let shadows =
-    List.init rounds (fun _ ->
-        let sigma = random_perm drbg n in
-        let s = Array.init n (fun _ -> Group.random_exp drbg) in
-        let z = apply_link ~tab pk ~from:input ~perm:sigma ~rand:s in
-        (sigma, s, z))
-  in
-  let digest = transcript_digest pk ~input ~output ~shadows:(List.map (fun (_, _, z) -> z) shadows) in
-  let sigma_inv_tau sigma =
-    (* tau = sigma^-1 . pi: tau.(i) = sigma_inv.(pi.(i)) *)
-    let sigma_inv = invert_perm sigma in
-    Array.init n (fun i -> sigma_inv.(pi.(i)))
-  in
+  let r = Group.random_exps drbg n in
+  let round_rand = Array.make rounds ([||], [||]) in
+  for j = 0 to rounds - 1 do
+    let sigma = random_perm drbg n in
+    let s = Group.random_exps drbg n in
+    round_rand.(j) <- (sigma, s)
+  done;
+  (* one pooled pass writes the output and every shadow slot: all
+     writes are disjoint per index, all randomness pre-drawn *)
+  let dummy = { Elgamal.c1 = Group.one; c2 = Group.one } in
+  let output = Array.make n dummy in
+  let shadows = Array.init rounds (fun _ -> Array.make n dummy) in
+  Parallel.parallel_for n (fun i ->
+      output.(i) <-
+        Elgamal.mul (Elgamal.encrypt_with ~tab ~r:r.(i) pk Elgamal.one) input.(pi.(i));
+      for j = 0 to rounds - 1 do
+        let sigma, s = round_rand.(j) in
+        shadows.(j).(i) <-
+          Elgamal.mul (Elgamal.encrypt_with ~tab ~r:s.(i) pk Elgamal.one) input.(sigma.(i))
+      done);
+  let digest = transcript_digest pk ~input ~output ~shadows:(Array.to_list shadows) in
   let rounds =
-    List.mapi
-      (fun j (sigma, s, z) ->
+    List.init rounds (fun j ->
+        let sigma, s = round_rand.(j) in
         let opening =
-          if challenge_bit digest j then
-            let tau = sigma_inv_tau sigma in
+          if challenge_bit digest j then begin
+            (* tau = sigma^-1 . pi: tau.(i) = sigma_inv.(pi.(i)) *)
+            let sigma_inv = invert_perm sigma in
+            let tau = Array.init n (fun i -> sigma_inv.(pi.(i))) in
             let t = Array.init n (fun i -> Group.exp_sub r.(i) s.(tau.(i))) in
             Output_link (tau, t)
+          end
           else Input_link (sigma, s)
         in
-        { shadow = z; opening })
-      shadows
+        { shadow = shadows.(j); opening })
   in
   (output, { rounds })
 
-let shuffle_unproven drbg pk input =
+let shuffle_unproven ?tab drbg pk input =
   let n = Array.length input in
-  let tab = Group.precomp pk in
+  let tab = match tab with Some t -> t | None -> Group.precomp pk in
   let pi = random_perm drbg n in
-  let r = Array.init n (fun _ -> Group.random_exp drbg) in
+  let r = Group.random_exps drbg n in
   apply_link ~tab pk ~from:input ~perm:pi ~rand:r
-
-let same_ct a b =
-  Group.elt_to_int a.Elgamal.c1 = Group.elt_to_int b.Elgamal.c1
-  && Group.elt_to_int a.Elgamal.c2 = Group.elt_to_int b.Elgamal.c2
 
 let is_perm perm n =
   Array.length perm = n
@@ -109,9 +123,48 @@ let is_perm perm n =
       end)
     perm
 
-let verify pk ~input ~output { rounds } =
+(* Batched link check (Batch_verify). The opening claims, per slot i,
+     dst.(i) = E(1; e_i) * from.(perm(i)), i.e.
+     dst_c1(i) = g^{e_i} * from_c1(perm(i))   and
+     dst_c2(i) = pk^{e_i} * from_c2(perm(i)).
+   Folding each component's n equations with weight lanes u (c1) and v
+   (c2) gives
+     prod from_c1(perm(i))^{u_i} * dst_c1(i)^{-u_i} = g^{-sum u_i e_i}
+   and likewise for c2 against pk. Versus recomputing the n
+   rerandomizing encryptions, this allocates no shadow-sized ciphertext
+   vector per round. The transcript digest already binds pk, input,
+   output and every shadow; the opening's permutation and exponents are
+   not under it, so the weight transcript hashes digest, round index,
+   perm and exps. *)
+let round_link_ok ~tab ~digest ~j ~from ~dst ~perm ~exps pk =
+  let n = Array.length dst in
+  let transcript =
+    let buf = Buffer.create ((n * 8) + 40) in
+    Buffer.add_string buf digest;
+    Batch_verify.add_exp buf (Group.exp_of_int j);
+    Array.iter (fun p -> Batch_verify.add_exp buf (Group.exp_of_int p)) perm;
+    Array.iter (fun e -> Batch_verify.add_exp buf e) exps;
+    Buffer.contents buf
+  in
+  let ws = Batch_verify.weights ~context:"shuffle-link" ~transcript ~lanes:2 n in
+  let component w proj rhs_pow =
+    let bases = Array.make (2 * n) Group.one in
+    let es = Array.make (2 * n) Group.zero_exp in
+    for i = 0 to n - 1 do
+      bases.(2 * i) <- proj from.(perm.(i));
+      es.(2 * i) <- w.(i);
+      bases.((2 * i) + 1) <- proj dst.(i);
+      es.((2 * i) + 1) <- Group.exp_neg w.(i)
+    done;
+    Group.elt_to_int (Group.multi_exp ~bases ~exps:es)
+    = Group.elt_to_int (rhs_pow (Group.exp_neg (Batch_verify.dot w exps)))
+  in
+  component ws.(0) (fun ct -> ct.Elgamal.c1) Group.pow_g
+  && component ws.(1) (fun ct -> ct.Elgamal.c2) (Group.pow_tab ~tab pk)
+
+let verify ?tab pk ~input ~output { rounds } =
   let n = Array.length input in
-  let tab = Group.precomp pk in
+  let tab = match tab with Some t -> t | None -> Group.precomp pk in
   Array.length output = n
   && rounds <> []
   &&
@@ -126,11 +179,11 @@ let verify pk ~input ~output { rounds } =
       | Input_link (sigma, s) ->
         (not (challenge_bit digest j))
         && is_perm sigma n && Array.length s = n
-        && Array.for_all2 same_ct (apply_link ~tab pk ~from:input ~perm:sigma ~rand:s) shadow
+        && round_link_ok ~tab ~digest ~j ~from:input ~dst:shadow ~perm:sigma ~exps:s pk
       | Output_link (tau, t) ->
         challenge_bit digest j
         && is_perm tau n && Array.length t = n
-        && Array.for_all2 same_ct (apply_link ~tab pk ~from:shadow ~perm:tau ~rand:t) output)
+        && round_link_ok ~tab ~digest ~j ~from:shadow ~dst:output ~perm:tau ~exps:t pk)
     (List.init (List.length rounds) Fun.id)
     rounds
 

@@ -15,19 +15,27 @@ type proof
 val default_rounds : int
 
 val shuffle :
-  ?rounds:int -> Drbg.t -> Elgamal.pub -> Elgamal.ciphertext array ->
-  Elgamal.ciphertext array * proof
+  ?rounds:int -> ?tab:Group.precomp -> Drbg.t -> Elgamal.pub ->
+  Elgamal.ciphertext array -> Elgamal.ciphertext array * proof
 (** [shuffle drbg pk cts] returns the permuted/rerandomized vector and a
-    proof of correctness. *)
+    proof of correctness. [?tab] is a fixed-base table for [pk]; one is
+    built on the spot when absent. The output and every shadow are
+    computed in a single pooled pass after a sequential bulk randomness
+    prepass. *)
 
 val shuffle_unproven :
-  Drbg.t -> Elgamal.pub -> Elgamal.ciphertext array -> Elgamal.ciphertext array
+  ?tab:Group.precomp -> Drbg.t -> Elgamal.pub -> Elgamal.ciphertext array ->
+  Elgamal.ciphertext array
 (** Permute and rerandomize without producing a proof — the fast path
     for large throughput runs where verification is disabled. *)
 
 val verify :
-  Elgamal.pub -> input:Elgamal.ciphertext array ->
+  ?tab:Group.precomp -> Elgamal.pub -> input:Elgamal.ciphertext array ->
   output:Elgamal.ciphertext array -> proof -> bool
+(** Each opened round's link is checked as two random-linear-combination
+    multi-exponentiations rather than by recomputing the n
+    rerandomizing encryptions (Batch_verify; soundness in DESIGN.md
+    §3c). [?tab] as in {!shuffle}. *)
 
 val proof_rounds : proof -> int
 

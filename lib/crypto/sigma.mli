@@ -20,10 +20,13 @@ val dleq_prove :
     same exponent links (g, g^x) and (base2, base2^x). *)
 
 val dleq_prove_with :
-  k:Group.exp -> secret:Group.exp -> base2:Group.elt -> context:string -> dleq_proof
+  ?public2:Group.elt ->
+  k:Group.exp -> secret:Group.exp -> base2:Group.elt -> context:string -> unit ->
+  dleq_proof
 (** {!dleq_prove} with a pre-drawn commitment nonce [k] — the pure
     arithmetic half, safe to run on the domain pool after a sequential
-    DRBG prepass. *)
+    DRBG prepass. [?public2] is [base2^secret] when the caller already
+    holds it (a decryption share), skipping one full exponentiation. *)
 
 val dleq_verify :
   ?public1_tab:Group.precomp ->
@@ -32,3 +35,17 @@ val dleq_verify :
 (** [?public1_tab] is a fixed-base table for [public1] (the prover's
     long-lived public key), worthwhile when verifying many proofs from
     the same party; raises [Invalid_argument] on a base mismatch. *)
+
+val dleq_verify_batch :
+  ?public1_tab:Group.precomp ->
+  public1:Group.elt -> context:string ->
+  statements:(Group.elt * Group.elt) array ->
+  dleq_proof array -> Batch_verify.outcome
+(** Batched {!dleq_verify} for one prover: [statements.(i)] is
+    [(base2_i, public2_i)] for [proofs.(i)]. The 2n verification
+    equations fold into two random-linear-combination checks over
+    {!Group.multi_exp} (~6 multiplications per proof instead of two
+    full exponentiations); on a failed fold the single-proof fallback
+    re-runs so the outcome names the offending indices. Accepts iff
+    every proof verifies individually, up to the ~1/q batch soundness
+    error (DESIGN.md §3c). *)

@@ -25,9 +25,11 @@ val noise_slots_proven :
 (** Noise slots with per-slot disjunctive bit-validity proofs. *)
 
 val shuffle :
+  ?tab:Crypto.Group.precomp ->
   t -> joint:Crypto.Elgamal.pub -> rounds:int option -> Crypto.Elgamal.ciphertext array ->
   Crypto.Elgamal.ciphertext array * Crypto.Shuffle.proof option
-(** [rounds = None] is the proof-less fast path for throughput runs. *)
+(** [rounds = None] is the proof-less fast path for throughput runs.
+    [?tab] is a fixed-base table for [joint], reused across phases. *)
 
 val rerandomize_bits : t -> Crypto.Elgamal.ciphertext array -> Crypto.Elgamal.ciphertext array
 (** x -> x^k for secret nonzero k per slot: bit 0 stays bit 0, anything
@@ -42,4 +44,9 @@ type decryption_share = {
 val decrypt_shares : t -> ?prove:bool -> Crypto.Elgamal.ciphertext array -> decryption_share
 
 val verify_decryption :
+  ?pub_tab:Crypto.Group.precomp ->
   pub:Crypto.Elgamal.pub -> vector:Crypto.Elgamal.ciphertext array -> decryption_share -> bool
+(** Batched Chaum–Pedersen verification of one party's shares
+    ({!Crypto.Sigma.dleq_verify_batch}); a failed batch falls back to
+    single proofs internally, so a [false] still pinpoints real forgeries.
+    [?pub_tab] is a fixed-base table for this CP's public key. *)

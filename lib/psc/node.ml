@@ -44,8 +44,8 @@ let spawn_cp sched ~epoch cfg ~id ~tamper =
           reply (Wire.Noise_slots (Cp.noise_slots_proven ~tab cp ~joint:j ~flips));
           true
       | Ok (Wire.Shuffle_request { vector; rounds }) ->
-          let j, _ = joint_exn () in
-          let output, proof = Cp.shuffle cp ~joint:j ~rounds:(Some rounds) vector in
+          let j, tab = joint_exn () in
+          let output, proof = Cp.shuffle ~tab cp ~joint:j ~rounds:(Some rounds) vector in
           let output =
             match tamper_drbg with
             | Some drbg when Array.length output > 0 ->
@@ -154,6 +154,9 @@ type ts = {
   mutable keys : (int * (Crypto.Elgamal.pub * Crypto.Sigma.schnorr_proof)) list;
   mutable joint : Crypto.Elgamal.pub option;
   mutable joint_tab : Crypto.Group.precomp option;
+  mutable pub_tabs : (int * Crypto.Group.precomp) list;
+      (* fixed-base table per CP public key, built once at joint-key
+         establishment and reused by decryption verification *)
   mutable tables : (int * Crypto.Elgamal.ciphertext array) list;
   mutable requested_tables : int list;
   mutable noise : (int * (Crypto.Elgamal.ciphertext * Crypto.Bit_proof.t) array) list;
@@ -185,6 +188,7 @@ let establish_joint t ~epoch =
   let joint = Crypto.Elgamal.joint_pub (List.map (fun (_, (pub, _)) -> pub) keys) in
   t.joint <- Some joint;
   t.joint_tab <- Some (Crypto.Group.precomp joint);
+  t.pub_tabs <- List.map (fun (id, (pub, _)) -> (id, Crypto.Group.precomp pub)) keys;
   t.stage <- Idle;
   for dc = 0 to t.ts_cfg.num_dcs - 1 do
     Wire.post t.ts_sched ~epoch ~src:Bus.Party.Ts ~dst:(Bus.Party.Dc dc)
@@ -205,12 +209,12 @@ let start_chain t ~epoch =
   let per_cp =
     List.map
       (fun (cp, proven) ->
-        let oks =
-          Parallel.parallel_init (Array.length proven) (fun i ->
-              let ct, proof = proven.(i) in
-              Crypto.Bit_proof.verify ~pk_tab:tab ~pk:joint ct proof)
+        (* one folded check per CP message rather than one per slot *)
+        let ok =
+          match Crypto.Bit_proof.verify_batch ~pk_tab:tab ~pk:joint proven with
+          | Crypto.Batch_verify.Accepted -> true
+          | Crypto.Batch_verify.Rejected _ -> false
         in
-        let ok = Array.for_all Fun.id oks in
         Obs.Ledger.proof ~kind:"psc-noise-bit" ~party:cp ~ok
           ~batch:(Array.length proven);
         if not ok then blame t cp;
@@ -235,7 +239,7 @@ let finish t vector =
         | None -> invalid_arg "Node.ts: share from unknown CP"
       in
       let ok =
-        Cp.verify_decryption ~pub ~vector
+        Cp.verify_decryption ?pub_tab:(List.assoc_opt cp t.pub_tabs) ~pub ~vector
           { Cp.cp_id = cp; shares = share_vec; proofs }
       in
       Obs.Ledger.proof ~kind:"psc-decrypt" ~party:cp ~ok ~batch:(Array.length vector);
@@ -279,6 +283,7 @@ let spawn_ts sched ~epoch cfg =
       keys = [];
       joint = None;
       joint_tab = None;
+      pub_tabs = [];
       tables = [];
       requested_tables = [];
       noise = [];
@@ -318,9 +323,9 @@ let spawn_ts sched ~epoch cfg =
           | Chain { cp = expect; vector } when cp = expect ->
               (match proof with
               | Some proof ->
-                  let joint, _ = joint_exn t in
+                  let joint, tab = joint_exn t in
                   let ok =
-                    Crypto.Shuffle.verify joint ~input:vector ~output proof
+                    Crypto.Shuffle.verify ~tab joint ~input:vector ~output proof
                   in
                   Obs.Ledger.proof ~kind:"psc-shuffle" ~party:cp ~ok
                     ~batch:(Array.length vector);

@@ -31,6 +31,9 @@ type t = {
   cps : Cp.t array;
   joint : Crypto.Elgamal.pub;
   joint_tab : Crypto.Group.precomp; (* fixed-base table for [joint], built once per round *)
+  cp_pub_tabs : Crypto.Group.precomp array;
+      (* fixed-base table per CP public key, built once per round and
+         reused by every verification touching that key *)
   round_key : string;
   tables : Table.t array;
   (* simulator-side ground truth of inserted items, for diagnostics *)
@@ -54,6 +57,7 @@ let create cfg ~num_dcs ~seed =
     cps;
   let joint = Crypto.Elgamal.joint_pub (Array.to_list (Array.map Cp.public_key cps)) in
   let joint_tab = Crypto.Group.precomp joint in
+  let cp_pub_tabs = Array.map (fun cp -> Crypto.Group.precomp (Cp.public_key cp)) cps in
   let round_key = Crypto.Sha256.digest (Printf.sprintf "psc-round-key|%d" seed) in
   let tables =
     Array.init num_dcs (fun dc ->
@@ -65,6 +69,7 @@ let create cfg ~num_dcs ~seed =
     cps;
     joint;
     joint_tab;
+    cp_pub_tabs;
     round_key;
     tables;
     inserted = Array.init num_dcs (fun _ -> Hashtbl.create 256);
@@ -209,12 +214,11 @@ let run t =
               end
               else proven
             in
-            let oks =
-              Parallel.parallel_init (Array.length proven) (fun i ->
-                  let ct, proof = proven.(i) in
-                  Crypto.Bit_proof.verify ~pk_tab:t.joint_tab ~pk:t.joint ct proof)
+            let ok =
+              match Crypto.Bit_proof.verify_batch ~pk_tab:t.joint_tab ~pk:t.joint proven with
+              | Crypto.Batch_verify.Accepted -> true
+              | Crypto.Batch_verify.Rejected _ -> false
             in
-            let ok = Array.for_all Fun.id oks in
             Obs.Ledger.proof ~kind:"psc-noise-bit" ~party:(Cp.id cp) ~ok
               ~batch:(Array.length proven);
             if not ok then blame (Cp.id cp);
@@ -235,7 +239,7 @@ let run t =
         let cp_attr = [ ("cp", string_of_int (Cp.id cp)); jobs_attr ] in
         let output, proof =
           Obs.Ledger.phase "psc.shuffle" ~attrs:cp_attr (fun () ->
-              Cp.shuffle cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector)
+              Cp.shuffle ~tab:t.joint_tab cp ~joint:t.joint ~rounds:t.cfg.proof_rounds vector)
         in
         let output =
           if tampering cp `Shuffle_swap && Array.length output > 0 then begin
@@ -248,7 +252,7 @@ let run t =
         in
         (match (t.cfg.verify, proof) with
         | true, Some proof ->
-          let ok = Crypto.Shuffle.verify t.joint ~input:vector ~output proof in
+          let ok = Crypto.Shuffle.verify ~tab:t.joint_tab t.joint ~input:vector ~output proof in
           Obs.Ledger.proof ~kind:"psc-shuffle" ~party:(Cp.id cp) ~ok
             ~batch:(Array.length vector);
           if not ok then blame (Cp.id cp)
@@ -269,13 +273,16 @@ let run t =
         Array.map (fun cp -> Cp.decrypt_shares cp ~prove:t.cfg.verify shuffled) t.cps
       in
       if t.cfg.verify then
-        Array.iter2
-          (fun cp share ->
-            let ok = Cp.verify_decryption ~pub:(Cp.public_key cp) ~vector:shuffled share in
+        Array.iteri
+          (fun i cp ->
+            let ok =
+              Cp.verify_decryption ~pub_tab:t.cp_pub_tabs.(i) ~pub:(Cp.public_key cp)
+                ~vector:shuffled shares.(i)
+            in
             Obs.Ledger.proof ~kind:"psc-decrypt" ~party:(Cp.id cp) ~ok
               ~batch:(Array.length shuffled);
             if not ok then blame (Cp.id cp))
-          t.cps shares;
+          t.cps;
       let plains =
         Crypto.Elgamal.combine_partial_all shuffled ~parties:(Array.length shares)
           ~share:(fun p i -> shares.(p).Cp.shares.(i))

@@ -15,9 +15,10 @@ type t = {
 
 let create ?tab ~table_size ~key ~joint ~drbg () =
   let tab = match tab with Some t -> t | None -> Crypto.Group.precomp joint in
-  (* Sequential prepass draws the per-slot randomness in slot order;
-     the encryptions themselves are pure and run on the domain pool. *)
-  let rs = Array.init table_size (fun _ -> Crypto.Group.random_exp drbg) in
+  (* Sequential prepass draws the per-slot randomness in slot order as
+     one bulk DRBG read; the encryptions themselves are pure and run on
+     the domain pool. *)
+  let rs = Crypto.Group.random_exps drbg table_size in
   let slots =
     Parallel.parallel_init table_size (fun i ->
         Crypto.Elgamal.encrypt_with ~tab ~r:rs.(i) joint Crypto.Elgamal.one)

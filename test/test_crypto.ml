@@ -545,7 +545,132 @@ let test_combine_partial_arr_agrees () =
         (Group.elt_to_int plains.(i)))
     cts
 
+(* --- batch verification and multi-exponentiation --- *)
+
+let naive_multi_exp bases exps =
+  let acc = ref Group.one in
+  Array.iteri (fun i b -> acc := Group.mul !acc (Group.pow b exps.(i))) bases;
+  !acc
+
+let test_multi_exp_edges () =
+  Alcotest.(check int) "empty product is identity" (Group.elt_to_int Group.one)
+    (Group.elt_to_int (Group.multi_exp ~bases:[||] ~exps:[||]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Group.multi_exp: length mismatch") (fun () ->
+      ignore (Group.multi_exp ~bases:[| Group.g |] ~exps:[||]))
+
+let test_dleq_batch_with_table () =
+  let d = drbg () in
+  let secret = Group.random_exp d in
+  let public1 = Group.pow_g secret in
+  let public1_tab = Group.precomp public1 in
+  let statements =
+    Array.init 9 (fun _ ->
+        let b = Group.random_elt d in
+        (b, Group.pow b secret))
+  in
+  let proofs =
+    Array.map (fun (b, _) -> Sigma.dleq_prove d ~secret ~base2:b ~context:"tab") statements
+  in
+  Alcotest.(check bool) "batch with fixed-base table accepts" true
+    (Sigma.dleq_verify_batch ~public1_tab ~public1 ~context:"tab" ~statements proofs
+    = Batch_verify.Accepted);
+  Alcotest.(check bool) "wrong context rejects" true
+    (Sigma.dleq_verify_batch ~public1_tab ~public1 ~context:"other" ~statements proofs
+    <> Batch_verify.Accepted)
+
 (* --- qcheck properties --- *)
+
+let prop_multi_exp_matches_naive =
+  (* sizes 0..20 cross the sequential cutover (8); exponents sweep the
+     degenerate values 0, 1, q-1 alongside random ones *)
+  QCheck.Test.make ~name:"multi_exp = naive fold across the cutover" ~count:60
+    QCheck.(pair small_int (int_range 0 20))
+    (fun (seed, n) ->
+      let d = Drbg.create (string_of_int seed) in
+      let bases = Array.init n (fun _ -> Group.random_elt d) in
+      let exps =
+        Array.init n (fun i ->
+            match i land 3 with
+            | 0 -> Group.zero_exp
+            | 1 -> Group.one_exp
+            | 2 -> Group.exp_of_int (Group.q - 1)
+            | _ -> Group.random_exp d)
+      in
+      Group.elt_to_int (Group.multi_exp ~bases ~exps)
+      = Group.elt_to_int (naive_multi_exp bases exps))
+
+let prop_bulk_draws_deterministic =
+  QCheck.Test.make ~name:"bulk DRBG draws deterministic and in range" ~count:50
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (seed, n) ->
+      let d1 = Drbg.create (string_of_int seed) and d2 = Drbg.create (string_of_int seed) in
+      let a = Drbg.uniform_array d1 (Group.q - 1) n in
+      let b = Drbg.uniform_array d2 (Group.q - 1) n in
+      let bound k = (k mod 7) + 2 in
+      let c = Drbg.uniform_lanes d1 bound n in
+      let c' = Drbg.uniform_lanes d2 bound n in
+      (* wide lanes: a bound above 2^30 switches to 8-byte lanes *)
+      let w = Drbg.uniform_array d1 ((1 lsl 31) + 17) 16 in
+      a = b && c = c'
+      && Array.for_all (fun v -> v >= 0 && v < Group.q - 1) a
+      && Array.for_all (fun v -> v >= 0 && v < (1 lsl 31) + 17) w
+      &&
+      let ok = ref true in
+      Array.iteri (fun k v -> if v < 0 || v >= bound k then ok := false) c;
+      !ok)
+
+let prop_dleq_batch_accept_iff_singles =
+  QCheck.Test.make ~name:"dleq batch accepts iff every single proof verifies" ~count:40
+    QCheck.(triple small_int (int_range 0 12) (option (int_range 0 11)))
+    (fun (seed, n, forge) ->
+      let d = Drbg.create (string_of_int seed) in
+      let secret = Group.random_exp d in
+      let public1 = Group.pow_g secret in
+      let statements =
+        Array.init n (fun _ ->
+            let b = Group.random_elt d in
+            (b, Group.pow b secret))
+      in
+      let proofs =
+        Array.map (fun (b, _) -> Sigma.dleq_prove d ~secret ~base2:b ~context:"t") statements
+      in
+      let forged = match forge with Some i when n > 0 -> Some (i mod n) | _ -> None in
+      (match forged with
+      | Some i ->
+        proofs.(i) <-
+          { proofs.(i) with Sigma.z = Group.exp_add proofs.(i).Sigma.z Group.one_exp }
+      | None -> ());
+      let singles =
+        Array.mapi
+          (fun i pr ->
+            let base2, public2 = statements.(i) in
+            Sigma.dleq_verify ~public1 ~base2 ~public2 ~context:"t" pr)
+          proofs
+      in
+      match (Sigma.dleq_verify_batch ~public1 ~context:"t" ~statements proofs, forged) with
+      | Batch_verify.Accepted, None -> Array.for_all Fun.id singles
+      | Batch_verify.Rejected [ i ], Some j -> i = j && not singles.(i)
+      | _ -> false)
+
+let prop_bit_batch_forgery_positions =
+  QCheck.Test.make ~name:"bit batch rejects exactly the forged position" ~count:30
+    QCheck.(triple small_int (int_range 1 10) (int_range 0 9))
+    (fun (seed, n, pos) ->
+      let pos = pos mod n in
+      let d = Drbg.create (string_of_int seed) in
+      let _, pk = Elgamal.keygen d in
+      let pairs = Array.init n (fun i -> Bit_proof.encrypt_bit_proven d ~pk (i land 1 = 1)) in
+      Bit_proof.verify_batch ~pk pairs = Batch_verify.Accepted
+      &&
+      (* a non-bit plaintext with a forged proof at [pos] is named *)
+      let r = Group.random_exp d in
+      let bad = Elgamal.encrypt_with ~r pk (Group.mul Elgamal.marker Elgamal.marker) in
+      let forged = Bit_proof.prove d ~pk ~r ~bit:true bad in
+      pairs.(pos) <- (bad, forged);
+      match Bit_proof.verify_batch ~pk pairs with
+      | Batch_verify.Rejected [ i ] -> i = pos
+      | _ -> false)
 
 let prop_elgamal_roundtrip =
   QCheck.Test.make ~name:"elgamal roundtrip any exponent" ~count:100 QCheck.small_int
@@ -659,7 +784,10 @@ let () =
           Alcotest.test_case "pow_tab mismatch rejected" `Quick test_pow_tab_mismatch_rejected;
           Alcotest.test_case "batch_inv matches inv" `Quick test_batch_inv_matches_inv;
           Alcotest.test_case "batch_inv edge cases" `Quick test_batch_inv_edge_cases;
+          Alcotest.test_case "multi_exp edge cases" `Quick test_multi_exp_edges;
         ] );
+      ( "batch_verify",
+        [ Alcotest.test_case "dleq batch with table" `Quick test_dleq_batch_with_table ] );
       ( "elgamal",
         [
           Alcotest.test_case "roundtrip" `Quick test_elgamal_roundtrip;
@@ -716,5 +844,7 @@ let () =
             prop_additive_sharing;
             prop_sha256_incremental; prop_shuffle_preserves_plaintext_multiset;
             prop_schnorr_sig_sound; prop_bit_proof_sound;
+            prop_multi_exp_matches_naive; prop_bulk_draws_deterministic;
+            prop_dleq_batch_accept_iff_singles; prop_bit_batch_forgery_positions;
           ] );
     ]

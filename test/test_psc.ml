@@ -252,33 +252,55 @@ let test_combine_size_mismatch_rejected () =
   Alcotest.check_raises "no tables" (Invalid_argument "Table.combine: no tables") (fun () ->
       ignore (Table.combine []))
 
-(* The central invariant of the parallel kernels: a full verified round
-   at jobs=4 is bit-identical to jobs=1 — same raw count, estimate,
-   interval, and proof outcomes. *)
+(* The central invariant of the parallel kernels, now covering the
+   streamed per-CP phases: every phase draws its randomness in a
+   sequential prepass, so a full verified round at jobs=4 is
+   bit-identical to jobs=1 — same raw count, estimate, interval, and
+   (batched) proof outcomes. *)
+let run_at ?tamper ~seed ~n jobs =
+  let before = Parallel.jobs () in
+  Parallel.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_jobs before)
+    (fun () ->
+      let cfg =
+        Protocol.config ~table_size:256 ~num_cps:3 ~noise_flips_per_cp:8
+          ~proof_rounds:(Some 4) ~verify:true ?tamper ()
+      in
+      let proto = Protocol.create cfg ~num_dcs:2 ~seed in
+      for i = 0 to n - 1 do
+        Protocol.insert proto ~dc:(i mod 2) (Printf.sprintf "i%d" i)
+      done;
+      Protocol.run proto)
+
 let prop_jobs_invariant =
   QCheck.Test.make ~name:"run identical at jobs=1 and jobs=4" ~count:6
     QCheck.(pair (int_range 1 50) (int_range 0 120))
     (fun (seed, n) ->
-      let run_at jobs =
-        let before = Parallel.jobs () in
-        Parallel.set_jobs jobs;
-        Fun.protect
-          ~finally:(fun () -> Parallel.set_jobs before)
-          (fun () ->
-            let cfg = config ~table_size:256 ~flips:8 ~proof_rounds:(Some 4) ~verify:true () in
-            let proto = Protocol.create cfg ~num_dcs:2 ~seed in
-            for i = 0 to n - 1 do
-              Protocol.insert proto ~dc:(i mod 2) (Printf.sprintf "i%d" i)
-            done;
-            Protocol.run proto)
-      in
-      let a = run_at 1 and b = run_at 4 in
+      let a = run_at ~seed ~n 1 and b = run_at ~seed ~n 4 in
       a.Protocol.raw_nonzero = b.Protocol.raw_nonzero
       && a.Protocol.total_flips = b.Protocol.total_flips
       && Float.equal a.Protocol.estimate b.Protocol.estimate
       && Float.equal a.Protocol.ci.Stats.Ci.lo b.Protocol.ci.Stats.Ci.lo
       && Float.equal a.Protocol.ci.Stats.Ci.hi b.Protocol.ci.Stats.Ci.hi
       && a.Protocol.proofs_ok = b.Protocol.proofs_ok
+      && a.Protocol.culprits = b.Protocol.culprits)
+
+(* Blame must be deterministic too: a tampered run names the same
+   culprit at any pool size (the batch verifier's fallback pass runs on
+   the pool, so this pins its index accounting). *)
+let prop_jobs_invariant_tampered =
+  QCheck.Test.make ~name:"tampered run blames identically at jobs=1 and jobs=4" ~count:4
+    QCheck.(triple (int_range 1 30) (int_range 1 60) (pair (int_range 0 2) bool))
+    (fun (seed, n, (cp, shuffle)) ->
+      let tamper =
+        { Protocol.tampered_cp = cp;
+          action = (if shuffle then `Shuffle_swap else `Noise_nonbit) }
+      in
+      let a = run_at ~tamper ~seed ~n 1 and b = run_at ~tamper ~seed ~n 4 in
+      (not a.Protocol.proofs_ok)
+      && a.Protocol.proofs_ok = b.Protocol.proofs_ok
+      && a.Protocol.culprits = [ cp ]
       && a.Protocol.culprits = b.Protocol.culprits)
 
 let prop_estimate_tracks_truth =
@@ -353,5 +375,5 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_estimate_tracks_truth; prop_jobs_invariant ] );
+          [ prop_estimate_tracks_truth; prop_jobs_invariant; prop_jobs_invariant_tampered ] );
     ]
