@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-sarif check audit deploy-demo trace-diff bench bench-quick bench-diff clean
+.PHONY: all build test lint lint-sarif check audit deploy-demo record-replay trace-diff bench bench-quick bench-diff clean
 
 all: build
 
@@ -32,6 +32,14 @@ audit:
 deploy-demo:
 	dune exec bin/tormeasure_cli.exe -- deploy --scenario benign --epochs 2 --ledger deploy-ledger.jsonl
 	dune exec bin/tormeasure_cli.exe -- audit deploy-ledger.jsonl
+
+# record one small network day to binary trace segments, then replay
+# it through ingestion with --verify at two pool sizes: the replayed
+# tallies must match the recorded headers exactly both times
+record-replay:
+	dune exec bin/tormeasure_cli.exe -- record --out nd-trace -s 7 --clients 200 --shards 4 --relays 80
+	dune exec bin/tormeasure_cli.exe -- replay nd-trace --verify --jobs 1
+	dune exec bin/tormeasure_cli.exe -- replay nd-trace --verify --jobs 4
 
 # compare phase timings of two run ledgers, e.g.
 #   make trace-diff BASE=LEDGER_baseline.jsonl NEW=ledger.jsonl

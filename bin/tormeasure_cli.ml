@@ -128,22 +128,22 @@ let run_cmd =
     Term.(const run $ id_arg $ seed_arg $ csv_arg $ metrics_arg $ trace_arg $ ledger_arg
           $ jobs_arg)
 
+let clients_arg =
+  let doc = "Selective clients in the simulated population." in
+  Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.clients
+       & info [ "clients" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc = "Fixed shard count (independent of $(b,--jobs); results identical at any value)." in
+  Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.shards
+       & info [ "shards" ] ~docv:"N" ~doc)
+
+let relays_arg =
+  let doc = "Relays in the generated consensus." in
+  Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.relays
+       & info [ "relays" ] ~docv:"N" ~doc)
+
 let netday_cmd =
-  let clients_arg =
-    let doc = "Selective clients in the simulated population." in
-    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.clients
-         & info [ "clients" ] ~docv:"N" ~doc)
-  in
-  let shards_arg =
-    let doc = "Fixed shard count (independent of $(b,--jobs); results identical at any value)." in
-    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.shards
-         & info [ "shards" ] ~docv:"N" ~doc)
-  in
-  let relays_arg =
-    let doc = "Relays in the generated consensus." in
-    Arg.(value & opt int Tormeasure.Netday.default.Tormeasure.Netday.relays
-         & info [ "relays" ] ~docv:"N" ~doc)
-  in
   let run seed jobs clients shards relays metrics trace ledger =
     apply_jobs jobs;
     obs_start ~metrics ~trace ~ledger;
@@ -171,6 +171,120 @@ let netday_cmd =
           events/sec. Deterministic per seed at any $(b,--jobs).")
     Term.(const run $ seed_arg $ jobs_arg $ clients_arg $ shards_arg $ relays_arg $ metrics_arg
           $ trace_arg $ ledger_arg)
+
+(* --- binary event-trace record / replay --- *)
+
+let print_tallies tallies =
+  List.iter (fun (name, v) -> Printf.printf "  %-20s %d\n" name v) tallies
+
+let record_cmd =
+  let out_arg =
+    let doc = "Recording prefix: one $(docv).segN file is written per shard." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"PREFIX" ~doc)
+  in
+  let run seed jobs clients shards relays out metrics trace ledger =
+    apply_jobs jobs;
+    obs_start ~metrics ~trace ~ledger;
+    let config =
+      { Tormeasure.Netday.default with Tormeasure.Netday.clients; shards; relays }
+    in
+    let t0 = Obs.Trace.now () in
+    (* torlint: allow privflow/transitive-leak — like netday, record
+       captures exact ingestion tallies by design, not pipeline output *)
+    let rec_ = Tormeasure.Netday.record ~config ~seed () in
+    let dt = Obs.Trace.now () -. t0 in
+    let paths = Tormeasure.Netday.write_recording rec_ ~prefix:out in
+    let r = rec_.Tormeasure.Netday.result in
+    let bytes =
+      Array.fold_left (fun a s -> a + String.length s) 0 rec_.Tormeasure.Netday.segments
+    in
+    Printf.printf "recorded %d events across %d shard segment(s) in %.3fs (%d bytes, %.1f B/event)\n"
+      r.Tormeasure.Netday.events (List.length paths) dt bytes
+      (float_of_int bytes /. float_of_int (max 1 r.Tormeasure.Netday.events));
+    List.iter (fun p -> Printf.printf "  wrote %s\n" p) paths;
+    print_tallies r.Tormeasure.Netday.tallies;
+    obs_finish ~metrics ~trace ~ledger
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run one sharded network day and capture every ingested event into a binary \
+          trace segment per shard, for $(b,tormeasure replay). Deterministic per seed.")
+    Term.(const run $ seed_arg $ jobs_arg $ clients_arg $ shards_arg $ relays_arg $ out_arg
+          $ metrics_arg $ trace_arg $ ledger_arg)
+
+(* Exit codes: 0 ok, 1 unreadable/malformed/mixed segments (typed
+   decode errors), 2 when --verify finds replayed counts or tallies
+   disagreeing with the recorded headers. *)
+let replay_cmd =
+  let prefix_arg =
+    let doc = "Recording prefix written by $(b,tormeasure record --out)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Cross-check the replay against the recorded headers: per-shard event counts and \
+       merged tallies must match exactly; exits 2 on any mismatch."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let repeat_arg =
+    let doc = "Push every segment through ingestion $(docv) times (throughput runs)." in
+    Arg.(value & opt int 1 & info [ "r"; "repeat" ] ~docv:"N" ~doc)
+  in
+  let run prefix verify repeat jobs metrics trace ledger =
+    if repeat < 1 then begin
+      Printf.eprintf "--repeat must be at least 1\n";
+      exit 1
+    end;
+    apply_jobs jobs;
+    obs_start ~metrics ~trace ~ledger;
+    let segments =
+      try Tormeasure.Netday.load_recording ~prefix
+      with Evtrace.Error e ->
+        Printf.eprintf "replay: %s: %s\n" prefix (Evtrace.error_to_string e);
+        exit 1
+    in
+    let meta = segments.(0).Evtrace.Segment.meta in
+    Printf.printf "recording: seed %d, %d shard(s), config %s\n" meta.Evtrace.seed
+      meta.Evtrace.shards
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) meta.Evtrace.config));
+    let t0 = Obs.Trace.now () in
+    match Tormeasure.Netday.replay ~repeat ~verify segments with
+    | exception Evtrace.Mismatch m ->
+      Printf.eprintf "replay MISMATCH: %s\n" (Evtrace.mismatch_to_string m);
+      exit 2
+    | exception Evtrace.Error e ->
+      Printf.eprintf "replay: %s\n" (Evtrace.error_to_string e);
+      exit 1
+    | r ->
+      let dt = Obs.Trace.now () -. t0 in
+      let eps =
+        float_of_int r.Tormeasure.Netday.replayed_events /. max 1e-9 dt
+      in
+      Obs.Metrics.set "trace_replay_events_per_sec" eps;
+      Printf.printf
+        "replayed %d events through ingestion in %.3fs (%.0f events/sec, repeat %d)\n"
+        r.Tormeasure.Netday.replayed_events dt eps repeat;
+      Printf.printf "per-shard events: %s\n"
+        (String.concat " "
+           (Array.to_list
+              (Array.map string_of_int r.Tormeasure.Netday.replayed_per_shard)));
+      print_tallies r.Tormeasure.Netday.replayed_tallies;
+      if verify then
+        Printf.printf "verify ok: replay matches the recorded headers exactly\n";
+      obs_finish ~metrics ~trace ~ledger
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded event trace straight into the ingestion sink — no torsim, no \
+          workload sampling, no per-event allocation — on the parallel pool, merged in \
+          shard order. Tallies are byte-identical to the live run at any $(b,--jobs). \
+          Exits 2 when $(b,--verify) detects a mismatch against the recorded headers.")
+    Term.(const run $ prefix_arg $ verify_arg $ repeat_arg $ jobs_arg
+          $ metrics_arg $ trace_arg $ ledger_arg)
 
 let ablations_cmd =
   let run () =
@@ -358,4 +472,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd; deploy_cmd; audit_cmd ]))
+          [ list_cmd; run_cmd; run_all_cmd; ablations_cmd; netday_cmd; record_cmd; replay_cmd;
+            deploy_cmd; audit_cmd ]))

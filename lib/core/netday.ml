@@ -124,7 +124,22 @@ let slice total shards s =
   let offset = (s * base) + min s extra in
   (size, offset)
 
-let run ?(config = default) ~seed () =
+(* ascending id IS counter name order *)
+let tallies_of_counts counts =
+  Array.to_list (Array.mapi (fun c v -> (Privcount.Counter.Intern.name intern c, v)) counts)
+
+(* The recording's provenance pairs, embedded in every segment header
+   and compared on replay (order is part of the format). *)
+let config_pairs config =
+  [
+    ("relays", config.relays);
+    ("clients", config.clients);
+    ("promiscuous", config.promiscuous);
+    ("shards", config.shards);
+    ("visits_per_client", config.visits_per_client);
+  ]
+
+let run_day ~record ~config ~seed =
   if config.shards < 1 then invalid_arg "Netday.run: need at least one shard";
   if config.clients < 0 || config.promiscuous < 0 then
     invalid_arg "Netday.run: negative population";
@@ -134,6 +149,7 @@ let run ?(config = default) ~seed () =
       [ ("relays", string_of_int config.relays);
         ("clients", string_of_int (config.clients + config.promiscuous));
         ("shards", string_of_int config.shards);
+        ("record", string_of_bool record);
         ("jobs", string_of_int (Parallel.jobs ())) ]
   @@ fun () ->
   let net_rng = Prng.Rng.create ((seed * 13) + 1) in
@@ -153,8 +169,27 @@ let run ?(config = default) ~seed () =
     let promiscuous, prom_off = slice config.promiscuous config.shards s in
     let engine = Torsim.Engine.create ~seed:(shard_seed (2 * s)) consensus in
     let acc = make_acc () in
+    (* When recording, every counted event is also appended to the
+       shard's trace writer: the segment captures exactly the stream
+       the live sink ingested, in delivery order. *)
+    let writer =
+      if record then
+        Some
+          (Evtrace.Writer.create
+             { Evtrace.seed; shard = s; shards = config.shards; config = config_pairs config })
+      else None
+    in
+    let count = sink acc in
+    let shard_sink =
+      match writer with
+      | None -> count
+      | Some w ->
+        fun ev ->
+          count ev;
+          Evtrace.Writer.event w ev
+    in
     for relay = 0 to Torsim.Consensus.size consensus - 1 do
-      Torsim.Engine.add_sink engine relay (sink acc)
+      Torsim.Engine.add_sink engine relay shard_sink
     done;
     let rng = Prng.Rng.create (shard_seed ((2 * s) + 1)) in
     let population =
@@ -174,7 +209,12 @@ let run ?(config = default) ~seed () =
     let visits = Workload.Population.size population * config.visits_per_client in
     if visits > 0 && Workload.Population.size population > 0 then
       Workload.Exit_traffic.run engine population rng ~visits;
-    (acc, Torsim.Engine.truth engine)
+    (* Seal the segment in-worker (pure function of the shard's event
+       stream), so recording parallelizes with the simulation. *)
+    let segment =
+      Option.map (fun w -> Evtrace.Writer.finish w ~tallies:(tallies_of_counts acc.counts)) writer
+    in
+    (acc, Torsim.Engine.truth engine, segment)
   in
   (* Instrumented shards record through per-chunk Obs scopes that the
      pool merges back in shard index order, so telemetry no longer
@@ -191,15 +231,173 @@ let run ?(config = default) ~seed () =
   @@ fun () ->
   (* Merge in shard index order. *)
   let truth = Torsim.Ground_truth.create () in
-  Array.iter (fun (_, t) -> Torsim.Ground_truth.merge_into ~dst:truth t) shard_results;
+  Array.iter (fun (_, t, _) -> Torsim.Ground_truth.merge_into ~dst:truth t) shard_results;
   let totals = Array.make (Privcount.Counter.Intern.size intern) 0 in
   Array.iter
-    (fun (acc, _) -> Array.iteri (fun c v -> totals.(c) <- totals.(c) + v) acc.counts)
+    (fun (acc, _, _) -> Array.iteri (fun c v -> totals.(c) <- totals.(c) + v) acc.counts)
     shard_results;
-  (* ascending id IS counter name order *)
-  let tallies =
-    Array.to_list (Array.mapi (fun c v -> (Privcount.Counter.Intern.name intern c, v)) totals)
-  in
-  let per_shard_events = Array.map (fun (acc, _) -> acc.seen) shard_results in
+  let tallies = tallies_of_counts totals in
+  let per_shard_events = Array.map (fun (acc, _, _) -> acc.seen) shard_results in
   let events = Array.fold_left ( + ) 0 per_shard_events in
-  { tallies; events; per_shard_events; truth }
+  let segments = Array.map (fun (_, _, seg) -> seg) shard_results in
+  ({ tallies; events; per_shard_events; truth }, segments)
+
+let run ?(config = default) ~seed () = fst (run_day ~record:false ~config ~seed)
+
+(* --- record --- *)
+
+type recording = { result : result; segments : string array }
+
+let record ?(config = default) ~seed () =
+  let result, segments = run_day ~record:true ~config ~seed in
+  { result; segments = Array.map Option.get segments }
+
+let segment_path ~prefix ~shard = Printf.sprintf "%s.seg%d" prefix shard
+
+let write_recording recording ~prefix =
+  List.init (Array.length recording.segments) (fun s ->
+      let path = segment_path ~prefix ~shard:s in
+      Evtrace.Segment.write_file path recording.segments.(s);
+      path)
+
+let load_recording ~prefix =
+  let load shard =
+    match Evtrace.Segment.read_file (segment_path ~prefix ~shard) with
+    | Ok seg -> seg
+    | Error e -> raise (Evtrace.Error e)
+  in
+  let first = load 0 in
+  let shards = first.Evtrace.Segment.meta.Evtrace.shards in
+  Array.init shards (fun s -> if s = 0 then first else load s)
+
+(* --- replay --- *)
+
+type replay_result = {
+  replayed_tallies : (string * int) list;
+  replayed_events : int;
+  replayed_per_shard : int array;
+}
+
+(* Cross-segment provenance: same recording, shards 0..n-1 in order. *)
+let validate_segments segments =
+  let n = Array.length segments in
+  if n = 0 then invalid_arg "Netday.replay: no segments";
+  let first = segments.(0).Evtrace.Segment.meta in
+  if first.Evtrace.shards <> n then
+    raise
+      (Evtrace.Mismatch
+         { Evtrace.shard = -1; what = "shards"; expected = first.Evtrace.shards; got = n });
+  Array.iteri
+    (fun s (seg : Evtrace.Segment.t) ->
+      if seg.meta.Evtrace.shard <> s then
+        raise (Evtrace.Mismatch { Evtrace.shard = s; what = "shard index"; expected = s; got = seg.meta.Evtrace.shard });
+      if not (Evtrace.meta_equal_recording first seg.meta) then
+        raise (Evtrace.Error (Bus.Codec.Invalid (Printf.sprintf "segment %d is from a different recording" s))))
+    segments
+
+(* The replay ingestion sink: same dispatch and increments as the live
+   [sink], but over the decoded flat view. Hostname classification is
+   resolved once per interned id at segment load — replay never hashes
+   a hostname in the hot loop — using the same [Workload.Suffix]
+   functions as the live path, so the tallies are byte-identical. *)
+let replay_sink acc (seg : Evtrace.Segment.t) =
+  let nhosts = Array.length seg.Evtrace.Segment.hosts in
+  let sld_known = Bytes.create nhosts in
+  let tld_cls = Bytes.create nhosts in
+  Array.iteri
+    (fun i h ->
+      Bytes.unsafe_set sld_known i
+        (match Workload.Suffix.registered_domain h with Some _ -> '\001' | None -> '\000');
+      Bytes.unsafe_set tld_cls i
+        (match Workload.Suffix.top_level_domain h with
+        | Some "com" -> '\000'
+        | Some "onion" -> '\001'
+        | Some _ | None -> '\002'))
+    seg.Evtrace.Segment.hosts;
+  let bump id by = acc.counts.(id) <- acc.counts.(id) + by in
+  fun (v : Evtrace.View.t) ->
+    acc.seen <- acc.seen + 1;
+    match v.Evtrace.View.kind with
+    | Evtrace.View.Connection -> bump c_connections 1
+    | Circuit_data -> bump c_circuits_data 1
+    | Circuit_directory -> bump c_circuits_dir 1
+    | Directory_request -> bump c_dir_requests 1
+    | Entry_bytes -> bump c_entry_mib (mib v.bytes)
+    | Exit_bytes -> bump c_exit_mib (mib v.bytes)
+    | Stream_subsequent -> bump c_streams 1
+    | Stream_initial ->
+      bump c_streams 1;
+      bump c_streams_initial 1;
+      let h = v.host in
+      if h >= 0 then begin
+        if Torsim.Event.is_web_port v.port then bump c_streams_web 1;
+        bump (if Bytes.unsafe_get sld_known h = '\001' then c_sld_known else c_sld_unknown) 1;
+        bump
+          (match Bytes.unsafe_get tld_cls h with
+          | '\000' -> c_tld_com
+          | '\001' -> c_tld_onion
+          | _ -> c_tld_other)
+          1
+      end
+    | Descriptor_published | Descriptor_fetch | Rendezvous -> ()
+
+let replay ?(repeat = 1) ?(verify = false) segments =
+  if repeat < 1 then invalid_arg "Netday.replay: repeat must be positive";
+  validate_segments segments;
+  let shards = Array.length segments in
+  Obs.Ledger.phase "replay.run"
+    ~attrs:
+      [ ("shards", string_of_int shards);
+        ("repeat", string_of_int repeat);
+        ("jobs", string_of_int (Parallel.jobs ())) ]
+  @@ fun () ->
+  let replay_shard s =
+    let seg = segments.(s) in
+    let acc = make_acc () in
+    let sink = replay_sink acc seg in
+    for _ = 1 to repeat do
+      match Evtrace.iter seg sink with
+      | Ok _ -> ()
+      | Error e -> raise (Evtrace.Error e)
+    done;
+    acc
+  in
+  let shard_accs =
+    Obs.Ledger.phase "replay.shards" (fun () ->
+        Parallel.parallel_init ~min_chunk:1 shards replay_shard)
+  in
+  Obs.Ledger.phase "replay.merge"
+  @@ fun () ->
+  (* Merge in shard index order, exactly like the live run. *)
+  let totals = Array.make (Privcount.Counter.Intern.size intern) 0 in
+  Array.iter
+    (fun acc -> Array.iteri (fun c v -> totals.(c) <- totals.(c) + v) acc.counts)
+    shard_accs;
+  let per_shard = Array.map (fun acc -> acc.seen) shard_accs in
+  let events = Array.fold_left ( + ) 0 per_shard in
+  if verify then begin
+    (* Replay must reproduce the recording: per-shard event counts and
+       every recorded tally, scaled by [repeat]. *)
+    Array.iteri
+      (fun s (seg : Evtrace.Segment.t) ->
+        let expected = seg.events * repeat in
+        if per_shard.(s) <> expected then
+          raise (Evtrace.Mismatch { Evtrace.shard = s; what = "events"; expected; got = per_shard.(s) });
+        List.iter
+          (fun (name, recorded) ->
+            let id =
+              match Privcount.Counter.Intern.find intern name with
+              | Some id -> id
+              | None ->
+                raise
+                  (Evtrace.Error
+                     (Bus.Codec.Invalid (Printf.sprintf "recorded counter %S is not in the ingestion family" name)))
+            in
+            let expected = recorded * repeat in
+            let got = shard_accs.(s).counts.(id) in
+            if got <> expected then
+              raise (Evtrace.Mismatch { Evtrace.shard = s; what = "tally:" ^ name; expected; got }))
+          seg.tallies)
+      segments
+  end;
+  { replayed_tallies = tallies_of_counts totals; replayed_events = events; replayed_per_shard = per_shard }

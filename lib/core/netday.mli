@@ -31,3 +31,50 @@ val run : ?config:config -> seed:int -> unit -> result
 (** Run one network day. Deterministic in [seed] and [config]; the
     shard structure and per-shard PRNG streams depend only on
     [(seed, shard index)], never on scheduling. *)
+
+(** {2 Record / replay}
+
+    [record] runs the day once and captures every ingested event into
+    one binary trace segment per shard (shard structure and event
+    order inherited from the live run); [replay] memory-loads the
+    segments and pushes the decoded events back through the same
+    ingestion sink on the parallel pool — no torsim, no workload
+    sampling, no per-event allocation — merging in shard order so the
+    tallies are byte-identical to the live run at any [--jobs]
+    (DESIGN.md §3f). *)
+
+type recording = {
+  result : result;  (** the live run this recording captured *)
+  segments : string array;  (** sealed trace segments, shard order *)
+}
+
+val record : ?config:config -> seed:int -> unit -> recording
+(** Run one network day, recording as it ingests. [result] is exactly
+    what {!run} would have returned for the same [(config, seed)]. *)
+
+val segment_path : prefix:string -> shard:int -> string
+(** ["<prefix>.seg<shard>"] — the on-disk layout of a recording. *)
+
+val write_recording : recording -> prefix:string -> string list
+(** Write one segment file per shard; returns the paths written. *)
+
+val load_recording : prefix:string -> Evtrace.Segment.t array
+(** Read segment 0 for the shard count, then every remaining shard.
+    Raises [Evtrace.Error] on unreadable or malformed segments. *)
+
+type replay_result = {
+  replayed_tallies : (string * int) list;  (** merged, name-sorted *)
+  replayed_events : int;
+  replayed_per_shard : int array;
+}
+
+val replay : ?repeat:int -> ?verify:bool -> Evtrace.Segment.t array -> replay_result
+(** Replay the segments through the ingestion sink, each shard on the
+    parallel pool, merged in shard order. [repeat] pushes every
+    segment through ingestion that many times (throughput runs at
+    multiples of the recorded size); tallies and counts scale
+    accordingly. Raises [Evtrace.Error] on malformed payloads or
+    segments from different recordings, [Evtrace.Mismatch] when
+    [verify] is set and a replayed per-shard event count or tally
+    disagrees with the recorded header, and [Invalid_argument] on an
+    empty segment set or non-positive [repeat]. *)

@@ -1,0 +1,159 @@
+(** Versioned binary event-trace format: record a simulated network day
+    once, replay its observation events at ingestion speed forever.
+
+    A trace is one {e segment} per netday shard. Each segment is a
+    single self-describing byte string:
+
+    - magic ["TMT"] + a version byte (like [Bus.Envelope]);
+    - a header carrying provenance ({!meta}: seed, config, shard
+      index/count), the shard's recorded tallies (interned counter
+      names with exact values), interned string tables for countries
+      and hostnames/onion addresses, the event count, the payload
+      length and a SHA-256 payload checksum;
+    - a payload of varint-delta event records over the interned ids.
+
+    Header fields are written with the [Bus.Codec] primitives; the
+    record payload uses the same varint/zigzag wire forms through an
+    inlined cursor so the replay hot loop stays allocation-free. Replay
+    reads a whole segment into one buffer and decodes records in place
+    into a single reused {!View.t} — no torsim, no per-event
+    allocation.
+
+    Decoding never raises across the API boundary except through the
+    documented {!Error} wrapper used inside pool workers; malformed
+    input becomes the same typed {!error} as envelope decoding. *)
+
+type error = Bus.Codec.error
+
+val error_to_string : error -> string
+
+exception Error of error
+(** Wrapper for contexts that cannot return [result] (replay running
+    inside a [Parallel] worker). Never escapes the CLI unturned. *)
+
+(** Replay-vs-record disagreement: what was replayed does not match
+    what the header promised. *)
+type mismatch = {
+  shard : int;  (** offending shard, [-1] for a merged/cross-segment check *)
+  what : string;  (** ["events"], ["tally:<counter>"], ["shards"], ... *)
+  expected : int;
+  got : int;
+}
+
+exception Mismatch of mismatch
+
+val mismatch_to_string : mismatch -> string
+
+(** {2 Provenance} *)
+
+type meta = {
+  seed : int;
+  shard : int;  (** this segment's shard index *)
+  shards : int;  (** total shard count of the recording *)
+  config : (string * int) list;
+      (** recording configuration as ordered name/value pairs; replay
+          refuses segments whose config disagrees *)
+}
+
+val meta_equal_recording : meta -> meta -> bool
+(** Same recording: equal seed, shard count and config (shard index may
+    differ). *)
+
+(** {2 Recording} *)
+
+module Writer : sig
+  type t
+
+  val create : meta -> t
+
+  val event : t -> Torsim.Event.t -> unit
+  (** Append one event record; strings (countries, hostnames, onion
+      addresses) are interned on first sight. *)
+
+  val events : t -> int
+  (** Records appended so far. *)
+
+  val finish : t -> tallies:(string * int) list -> string
+  (** Seal the segment: header (with [tallies] as the shard's recorded
+      counter values) followed by the record payload. The writer must
+      not be reused afterwards (raises [Invalid_argument]). *)
+end
+
+(** {2 Segments} *)
+
+module Segment : sig
+  type t = {
+    meta : meta;
+    tallies : (string * int) list;  (** recorded per-shard counter values *)
+    countries : string array;  (** interned country table, id order *)
+    hosts : string array;  (** interned hostname/address table, id order *)
+    events : int;  (** recorded event count *)
+    payload : string;  (** raw record bytes, checksum-verified *)
+  }
+
+  val decode : string -> (t, error) result
+  (** Parse a sealed segment; verifies magic, version, structure and
+      the payload checksum. *)
+
+  val encode : t -> string
+  (** Re-seal a segment (recomputes the checksum over [payload]). Used
+      by tests to construct tampered segments; [Writer.finish] is the
+      normal producer. *)
+
+  val read_file : string -> (t, error) result
+  (** Read the whole file into a single buffer and {!decode} it. A
+      missing/unreadable file maps to [Invalid]. *)
+
+  val write_file : string -> string -> unit
+  (** [write_file path bytes] (binary mode). *)
+end
+
+(** {2 Replay} *)
+
+module View : sig
+  (** One decoded record, exposed as a single mutable struct the
+      iterator reuses for every event: replay sinks read the fields
+      relevant to [kind] and must not retain the view. *)
+
+  type kind =
+    | Connection
+    | Circuit_data
+    | Circuit_directory
+    | Directory_request
+    | Entry_bytes
+    | Exit_bytes
+    | Stream_initial
+    | Stream_subsequent
+    | Descriptor_published
+    | Descriptor_fetch
+    | Rendezvous
+
+  type t = {
+    mutable kind : kind;
+    mutable ip : int;  (** client ip *)
+    mutable country : int;  (** id into [Segment.countries] *)
+    mutable asn : int;
+    mutable bytes : float;  (** entry/exit byte volume *)
+    mutable host : int;
+        (** id into [Segment.hosts]; [-1] = IPv4 literal, [-2] = IPv6
+            literal (stream destinations) *)
+    mutable port : int;
+    mutable flag : bool;  (** [first_publish] / [Fetch_ok public] *)
+    mutable fetch : int;  (** 0 ok, 1 missing, 2 malformed *)
+    mutable cells : int;  (** rendezvous cells; [-1] closed, [-2] expired *)
+  }
+
+  val to_event : countries:string array -> hosts:string array -> t -> Torsim.Event.t
+  (** Materialize the boxed torsim event (tests, generic consumers; the
+      hot path reads the view directly). *)
+end
+
+val iter : Segment.t -> (View.t -> unit) -> (int, error) result
+(** Decode every record in payload order into one reused view and hand
+    it to the sink; returns the number of records decoded. Fails with
+    [Invalid] if the decoded count disagrees with the header, and with
+    the usual typed errors on malformed payload bytes. The sink runs
+    zero-allocation apart from what it does itself. *)
+
+val iter_events : Segment.t -> (Torsim.Event.t -> unit) -> (int, error) result
+(** {!iter} through {!View.to_event} (allocates one event per record). *)
